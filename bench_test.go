@@ -1,0 +1,385 @@
+package optimatch
+
+// One benchmark per table and figure of the paper's evaluation (Section 3),
+// plus ablation benches for the design choices in DESIGN.md. The benchmarks
+// exercise the same code paths as cmd/experiments; absolute numbers are
+// machine-dependent, the shape (linearity in workload size, plan size and
+// knowledge-base size; OptImatch beating grep-style scanning) is the claim
+// under test. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"optimatch/internal/core"
+	"optimatch/internal/kb"
+	"optimatch/internal/pattern"
+	"optimatch/internal/qep"
+	"optimatch/internal/rdf"
+	"optimatch/internal/sparql"
+	"optimatch/internal/textsearch"
+	"optimatch/internal/transform"
+	"optimatch/internal/workload"
+)
+
+// benchWorkload memoizes generated-and-transformed workloads across
+// benchmarks so setup cost is paid once per configuration.
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string][]*transform.Result{}
+	truthCache = map[string]workload.Truth{}
+)
+
+func benchResults(tb testing.TB, cfg workload.Config) ([]*transform.Result, workload.Truth) {
+	tb.Helper()
+	key := fmt.Sprintf("%+v", cfg)
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if rs, ok := benchCache[key]; ok {
+		return rs, truthCache[key]
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rs := transform.TransformAll(w.Plans)
+	benchCache[key] = rs
+	truthCache[key] = w.Truth
+	return rs, w.Truth
+}
+
+func benchEngine(tb testing.TB, rs []*transform.Result) *core.Engine {
+	tb.Helper()
+	e := core.New()
+	for _, r := range rs {
+		if err := e.LoadResult(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return e
+}
+
+func compiledPatterns(tb testing.TB) []*pattern.Compiled {
+	tb.Helper()
+	var out []*pattern.Compiled
+	for _, p := range []*pattern.Pattern{pattern.A(), pattern.B(), pattern.C()} {
+		c, err := pattern.Compile(p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func fig9Config(size int) workload.Config {
+	return workload.Config{
+		Seed: 2016, NumPlans: size, MinOps: 60, MaxOps: 240,
+		InjectA: size * 15 / 100, InjectB: size * 12 / 100, InjectC: size * 18 / 100,
+	}
+}
+
+// BenchmarkFigure9WorkloadSize regenerates Figure 9: pattern search time as
+// a function of the number of QEP files. Time per op should scale linearly
+// with qeps.
+func BenchmarkFigure9WorkloadSize(b *testing.B) {
+	compiled := compiledPatterns(b)
+	for _, size := range []int{100, 250, 500, 1000} {
+		rs, _ := benchResults(b, fig9Config(size))
+		eng := benchEngine(b, rs)
+		for pi, c := range compiled {
+			b.Run(fmt.Sprintf("qeps=%d/pattern=%d", size, pi+1), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.FindCompiled(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure10LolepopCount regenerates Figure 10: per-plan search time
+// as a function of plan size. Time per op should scale linearly with ops.
+func BenchmarkFigure10LolepopCount(b *testing.B) {
+	compiled := compiledPatterns(b)
+	for _, target := range []int{25, 75, 125, 225, 525} {
+		n := 12
+		rs, _ := benchResults(b, workload.Config{
+			Seed: 2016, NumPlans: n, OpCounts: []int{target},
+			InjectA: n * 15 / 100, InjectB: n * 12 / 100, InjectC: n * 18 / 100,
+		})
+		eng := benchEngine(b, rs)
+		totalOps := 0
+		for _, r := range rs {
+			totalOps += r.Plan.NumOps()
+		}
+		for pi, c := range compiled {
+			b.Run(fmt.Sprintf("ops=%d/pattern=%d", target, pi+1), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ReportMetric(float64(totalOps)/float64(n), "mean-ops/plan")
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.FindCompiled(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure11KBSize regenerates Figure 11: workload scan time as a
+// function of the number of recommendations in the knowledge base.
+func BenchmarkFigure11KBSize(b *testing.B) {
+	rs, _ := benchResults(b, fig9Config(100))
+	eng := benchEngine(b, rs)
+	for _, n := range []int{1, 10, 50, 100} {
+		k := benchVariantKB(b, n)
+		b.Run(fmt.Sprintf("recommendations=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunKB(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchVariantKB clones canonical patterns with perturbed thresholds, like
+// the experiments package's variantKB.
+func benchVariantKB(tb testing.TB, n int) *kb.KnowledgeBase {
+	tb.Helper()
+	k := kb.New()
+	for i := 0; i < n; i++ {
+		bld := pattern.NewBuilder(fmt.Sprintf("bench-a-%d", i), "variant")
+		top := bld.Pop("NLJOIN").Alias("TOP")
+		outer := bld.Pop(pattern.TypeAny)
+		inner := bld.Pop("TBSCAN").Alias("SCAN3")
+		base := bld.Pop(pattern.TypeBaseObj).Alias("BASE4")
+		top.OuterChild(outer)
+		top.InnerChild(inner)
+		outer.Where("hasEstimateCardinality", ">", 1+i%5)
+		inner.Where("hasEstimateCardinality", ">", 100+10*(i%7))
+		inner.Child(base)
+		p, err := bld.Build()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := k.Add(p, kb.Recommendation{Title: "Index", Category: "INDEX",
+			Template: "Create index on @BASE4.NAME (@BASE4(INPUT))."}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return k
+}
+
+// BenchmarkFigure12Comparative regenerates Figure 12's machine-measurable
+// half: OptImatch search vs the grep-style manual baseline over the 100-QEP
+// user-study sample. (Expert wall-clock time is modeled, not benchmarked.)
+func BenchmarkFigure12Comparative(b *testing.B) {
+	cfg := workload.Config{
+		Seed: 2016, NumPlans: 100, MinOps: 60, MaxOps: 240,
+		InjectA: 15, InjectB: 12, InjectC: 18,
+		HardFractions: map[string]float64{"A": 0.12, "B": 0.28, "C": 0.18},
+	}
+	rs, _ := benchResults(b, cfg)
+	eng := benchEngine(b, rs)
+	compiled := compiledPatterns(b)
+	texts := make(map[string]string, len(rs))
+	for _, r := range rs {
+		texts[r.Plan.ID] = qep.Text(r.Plan)
+	}
+	keys := []string{"A", "B", "C"}
+	for pi := range compiled {
+		b.Run(fmt.Sprintf("pattern=%d/optimatch", pi+1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.FindCompiled(compiled[pi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("pattern=%d/grep-baseline", pi+1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, text := range texts {
+					if textsearch.Predict(keys[pi], text) {
+						n++
+					}
+				}
+				if n == 0 && pi != 99 {
+					_ = n // baselines may legitimately find nothing at some hardness levels
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Precision regenerates Table 1's measurement: scoring the
+// manual baseline's predictions against ground truth.
+func BenchmarkTable1Precision(b *testing.B) {
+	cfg := workload.Config{
+		Seed: 2016, NumPlans: 100, MinOps: 60, MaxOps: 240,
+		InjectA: 15, InjectB: 12, InjectC: 18,
+		HardFractions: map[string]float64{"A": 0.12, "B": 0.28, "C": 0.18},
+	}
+	rs, truth := benchResults(b, cfg)
+	texts := make(map[string]string, len(rs))
+	ids := make([]string, len(rs))
+	for i, r := range rs {
+		texts[r.Plan.ID] = qep.Text(r.Plan)
+		ids[i] = r.Plan.ID
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, key := range []string{"A", "B", "C"} {
+			pred := make(map[string]bool, len(texts))
+			for id, text := range texts {
+				pred[id] = textsearch.Predict(key, text)
+			}
+			m := textsearch.Evaluate(ids, pred, truth[key])
+			if m.PaperPrecision() <= 0 {
+				b.Fatal("degenerate precision")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationNoIndexes compares indexed triple matching against full
+// scans (DESIGN.md: dictionary encoding + SPO/POS/OSP indexes).
+func BenchmarkAblationNoIndexes(b *testing.B) {
+	rs, _ := benchResults(b, fig9Config(100))
+	pred := rdf.IRI(transform.PredPopType)
+	val := rdf.String("NLJOIN")
+	run := func(b *testing.B, scan bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			count := 0
+			for _, r := range rs {
+				d := r.Graph.Dict()
+				pid, oid := d.Lookup(pred), d.Lookup(val)
+				if pid == rdf.NoID {
+					continue
+				}
+				if scan {
+					r.Graph.MatchScan(rdf.NoID, pid, oid, func(_, _, _ rdf.ID) bool { count++; return true })
+				} else {
+					r.Graph.Match(rdf.NoID, pid, oid, func(_, _, _ rdf.ID) bool { count++; return true })
+				}
+			}
+			if count == 0 {
+				b.Fatal("probe matched nothing")
+			}
+		}
+	}
+	b.Run("indexed", func(b *testing.B) { run(b, false) })
+	b.Run("full-scan", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationNoReorder compares the BGP join-order heuristic on/off.
+func BenchmarkAblationNoReorder(b *testing.B) {
+	rs, _ := benchResults(b, fig9Config(100))
+	compiled := compiledPatterns(b)
+	run := func(b *testing.B, opts sparql.ExecOptions) {
+		e := core.New(core.WithExecOptions(opts))
+		for _, r := range rs {
+			if err := e.LoadResult(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, c := range compiled {
+				if _, err := e.FindCompiled(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("reorder", func(b *testing.B) { run(b, sparql.ExecOptions{}) })
+	b.Run("textual-order", func(b *testing.B) { run(b, sparql.ExecOptions{DisableReorder: true}) })
+}
+
+// BenchmarkAblationDerivedPredicates compares Pattern B's descendant search
+// through derived hasChildPop closure predicates against the equivalent
+// traversal over raw reified stream edges.
+func BenchmarkAblationDerivedPredicates(b *testing.B) {
+	rs, _ := benchResults(b, fig9Config(100))
+	eng := benchEngine(b, rs)
+	cB, err := pattern.Compile(pattern.B())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reified := transform.Prologue + `
+SELECT DISTINCT ?pop1 AS ?TOP ?pop2 AS ?L ?pop3 AS ?R
+WHERE {
+  ?pop1 preduri:hasPopClass "JOIN" .
+  ?pop1 preduri:hasOuterInputStream/preduri:hasOuterInputStream/((preduri:hasOuterInputStream|preduri:hasInnerInputStream|preduri:hasInputStream)/(preduri:hasOuterInputStream|preduri:hasInnerInputStream|preduri:hasInputStream))* ?pop2 .
+  ?pop1 preduri:hasInnerInputStream/preduri:hasInnerInputStream/((preduri:hasOuterInputStream|preduri:hasInnerInputStream|preduri:hasInputStream)/(preduri:hasOuterInputStream|preduri:hasInnerInputStream|preduri:hasInputStream))* ?pop3 .
+  ?pop2 preduri:hasPopClass "JOIN" .
+  ?pop3 preduri:hasPopClass "JOIN" .
+  ?pop2 preduri:hasJoinType "LEFT_OUTER" .
+  ?pop3 preduri:hasJoinType "LEFT_OUTER" .
+}
+ORDER BY ?pop1
+`
+	b.Run("derived", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.FindCompiled(cB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reified-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.FindSPARQL(reified); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTransform measures Algorithm 1 (QEP -> RDF) on its own: it is
+// excluded from the figure timings (as in the paper, which times search)
+// but dominates cold-start cost.
+func BenchmarkTransform(b *testing.B) {
+	w, err := workload.Generate(fig9Config(100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transform.TransformAll(w.Plans)
+	}
+}
+
+// BenchmarkParseExplain measures the explain-text parser.
+func BenchmarkParseExplain(b *testing.B) {
+	w, err := workload.Generate(workload.Config{Seed: 2016, NumPlans: 10, MinOps: 100, MaxOps: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := make([]string, len(w.Plans))
+	for i, p := range w.Plans {
+		texts[i] = qep.Text(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range texts {
+			if _, err := ParsePlan(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

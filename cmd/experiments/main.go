@@ -1,0 +1,132 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section against the synthetic workload (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments -all            # every figure, table and ablation at paper scale
+//	experiments -all -quick     # scaled-down run (seconds, for smoke testing)
+//	experiments -fig 9          # a single figure (9, 10, 11 or 12)
+//	experiments -table1         # Table 1 only
+//	experiments -ablations      # the DESIGN.md ablation studies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optimatch/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		all       = flag.Bool("all", false, "run everything")
+		fig       = flag.Int("fig", 0, "run one figure (9, 10, 11, 12)")
+		table1    = flag.Bool("table1", false, "run Table 1 (precision study)")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		quick     = flag.Bool("quick", false, "scaled-down configuration")
+		seed      = flag.Int64("seed", 2016, "experiment seed")
+	)
+	flag.Parse()
+	if !*all && *fig == 0 && !*table1 && !*ablations {
+		*all = true
+	}
+
+	if *all || *fig == 9 {
+		cfg := experiments.Fig9Config{Seed: *seed}
+		if *quick {
+			cfg.Sizes = []int{20, 40, 60, 80, 100}
+			cfg.Reps = 2
+			cfg.MinOps, cfg.MaxOps = 30, 90
+		}
+		fmt.Fprintln(os.Stderr, "running Figure 9 (search time vs workload size)...")
+		res, err := experiments.Figure9(cfg)
+		if err != nil {
+			return err
+		}
+		res.Table().Fprint(os.Stdout)
+	}
+
+	if *all || *fig == 10 {
+		cfg := experiments.Fig10Config{Seed: *seed}
+		if *quick {
+			cfg.BucketTargets = []int{25, 75, 125, 225}
+			cfg.PlansPerSize = 4
+			cfg.Reps = 2
+		}
+		fmt.Fprintln(os.Stderr, "running Figure 10 (per-plan time vs LOLEPOP count)...")
+		res, err := experiments.Figure10(cfg)
+		if err != nil {
+			return err
+		}
+		res.Table().Fprint(os.Stdout)
+	}
+
+	if *all || *fig == 11 {
+		cfg := experiments.Fig11Config{Seed: *seed}
+		if *quick {
+			cfg.NumPlans = 60
+			cfg.KBSizes = []int{1, 10, 25, 50}
+			cfg.MinOps, cfg.MaxOps = 30, 90
+		}
+		fmt.Fprintln(os.Stderr, "running Figure 11 (scan time vs KB size)...")
+		res, err := experiments.Figure11(cfg)
+		if err != nil {
+			return err
+		}
+		res.Table().Fprint(os.Stdout)
+	}
+
+	if *all || *fig == 12 || *table1 {
+		cfg := experiments.Fig12Config{Seed: *seed}
+		if *quick {
+			cfg.MinOps, cfg.MaxOps = 30, 90
+		}
+		fmt.Fprintln(os.Stderr, "running Figure 12 / Table 1 (comparative user study)...")
+		res, err := experiments.Figure12(cfg)
+		if err != nil {
+			return err
+		}
+		if *all || *fig == 12 {
+			res.TimeTable().Fprint(os.Stdout)
+		}
+		if *all || *table1 {
+			res.PrecisionTable().Fprint(os.Stdout)
+		}
+	}
+
+	if *all || *ablations {
+		cfg := experiments.AblationConfig{Seed: *seed}
+		if *quick {
+			cfg.NumPlans = 30
+			cfg.MinOps, cfg.MaxOps = 30, 90
+		}
+		fmt.Fprintln(os.Stderr, "running ablations...")
+		var results []experiments.AblationResult
+		idx, err := experiments.AblationIndexes(cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, idx)
+		reorder, err := experiments.AblationReorder(cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, reorder)
+		derived, err := experiments.AblationDerivedPredicates(cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, derived)
+		experiments.AblationTable(results).Fprint(os.Stdout)
+	}
+	return nil
+}

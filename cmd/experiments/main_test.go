@@ -1,0 +1,32 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// runExperiments invokes run() with a fresh flag set.
+func runExperiments(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs := os.Args
+	oldCmd := flag.CommandLine
+	defer func() {
+		os.Args = oldArgs
+		flag.CommandLine = oldCmd
+	}()
+	flag.CommandLine = flag.NewFlagSet("experiments", flag.ContinueOnError)
+	os.Args = append([]string{"experiments"}, args...)
+	return run()
+}
+
+// TestQuickTable1 smoke-tests the experiment driver end to end at the
+// smallest scale (the precision study over 100 small plans).
+func TestQuickTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver run")
+	}
+	if err := runExperiments(t, "-quick", "-table1", "-seed", "7"); err != nil {
+		t.Fatal(err)
+	}
+}

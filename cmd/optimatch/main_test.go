@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"optimatch/internal/fixtures"
+	"optimatch/internal/kb"
+	"optimatch/internal/pattern"
+	"optimatch/internal/qep"
+)
+
+// writeFixtures writes the fixture plans as explain files in a temp dir.
+func writeFixtures(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, p := range fixtures.All() {
+		if err := os.WriteFile(filepath.Join(dir, p.ID+".exfmt"), []byte(qep.Text(p)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func fixtureFile(t *testing.T, dir, id string) string {
+	t.Helper()
+	return filepath.Join(dir, id+".exfmt")
+}
+
+func TestRunRender(t *testing.T) {
+	dir := writeFixtures(t)
+	if err := run([]string{"render", fixtureFile(t, dir, "Q2")}); err != nil {
+		t.Errorf("render: %v", err)
+	}
+	if err := run([]string{"render"}); err == nil {
+		t.Error("render without file accepted")
+	}
+	if err := run([]string{"render", filepath.Join(dir, "missing.exfmt")}); err == nil {
+		t.Error("render of missing file accepted")
+	}
+}
+
+func TestRunTransform(t *testing.T) {
+	dir := writeFixtures(t)
+	if err := run([]string{"transform", fixtureFile(t, dir, "Q2")}); err != nil {
+		t.Errorf("transform: %v", err)
+	}
+	if err := run([]string{"transform", "a", "b"}); err == nil {
+		t.Error("transform with two files accepted")
+	}
+}
+
+func TestRunCompile(t *testing.T) {
+	for _, letter := range []string{"a", "b", "c", "d"} {
+		if err := run([]string{"compile", "-pattern", letter}); err != nil {
+			t.Errorf("compile %s: %v", letter, err)
+		}
+	}
+	if err := run([]string{"compile", "-pattern", ""}); err == nil {
+		t.Error("compile without pattern accepted")
+	}
+	if err := run([]string{"compile", "-pattern", "/no/such/file.json"}); err == nil {
+		t.Error("compile with missing pattern file accepted")
+	}
+}
+
+func TestRunSearchCanonical(t *testing.T) {
+	dir := writeFixtures(t)
+	if err := run([]string{"search", "-pattern", "a", dir}); err != nil {
+		t.Errorf("search: %v", err)
+	}
+	if err := run([]string{"search", "-pattern", "a"}); err == nil {
+		t.Error("search without inputs accepted")
+	}
+}
+
+func TestRunSearchJSONPattern(t *testing.T) {
+	dir := writeFixtures(t)
+	p := pattern.D()
+	p.Name = "" // exercise the name-from-filename path
+	data, err := p.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfile := filepath.Join(dir, "sortspill.json")
+	if err := os.WriteFile(pfile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"search", "-pattern", pfile, fixtureFile(t, dir, "Q9")}); err != nil {
+		t.Errorf("search with JSON pattern: %v", err)
+	}
+	// Malformed pattern JSON.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"search", "-pattern", bad, dir}); err == nil {
+		t.Error("malformed pattern accepted")
+	}
+}
+
+func TestRunSPARQL(t *testing.T) {
+	dir := writeFixtures(t)
+	qfile := filepath.Join(dir, "q.rq")
+	query := `PREFIX preduri: <http://optimatch/pred/>
+SELECT ?s WHERE { ?s preduri:hasPopType "SORT" }`
+	if err := os.WriteFile(qfile, []byte(query), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sparql", "-query", qfile, dir}); err != nil {
+		t.Errorf("sparql: %v", err)
+	}
+	if err := run([]string{"sparql", dir}); err == nil {
+		t.Error("sparql without -query accepted")
+	}
+}
+
+func TestRunKBCanonicalAndFile(t *testing.T) {
+	dir := writeFixtures(t)
+	if err := run([]string{"kb", dir}); err != nil {
+		t.Errorf("kb canonical: %v", err)
+	}
+	// Saved KB file.
+	kfile := filepath.Join(dir, "kb.json")
+	f, err := os.Create(kfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.MustCanonical().Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"kb", "-kb", kfile, fixtureFile(t, dir, "Q2")}); err != nil {
+		t.Errorf("kb from file: %v", err)
+	}
+	// Corrupt KB file.
+	bad := filepath.Join(dir, "badkb.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"kb", "-kb", bad, dir}); err == nil {
+		t.Error("corrupt kb accepted")
+	}
+}
+
+func TestRunUsageAndErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestResolvePatternJSONName(t *testing.T) {
+	dir := t.TempDir()
+	p := pattern.A()
+	p.Name = ""
+	data, _ := json.Marshal(p)
+	file := filepath.Join(dir, "mypattern.json")
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resolvePattern(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "mypattern" {
+		t.Errorf("name = %q, want mypattern", got.Name)
+	}
+}
+
+func TestRunFromGraph(t *testing.T) {
+	dir := t.TempDir()
+	gfile := filepath.Join(dir, "snippet.txt")
+	if err := os.WriteFile(gfile, []byte(qep.Render(fixtures.Figure1())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fromgraph", gfile}); err != nil {
+		t.Errorf("fromgraph: %v", err)
+	}
+	if err := run([]string{"fromgraph"}); err == nil {
+		t.Error("fromgraph without file accepted")
+	}
+	if err := run([]string{"fromgraph", filepath.Join(dir, "nope.txt")}); err == nil {
+		t.Error("fromgraph of missing file accepted")
+	}
+}
+
+func TestRunKBExtended(t *testing.T) {
+	dir := writeFixtures(t)
+	if err := run([]string{"kb", "-extended", dir}); err != nil {
+		t.Errorf("kb -extended: %v", err)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	dir := writeFixtures(t)
+	if err := run([]string{"stats", "-k", "2", dir}); err != nil {
+		t.Errorf("stats: %v", err)
+	}
+	if err := run([]string{"stats", "-k", "9", dir}); err == nil {
+		t.Error("k > plans accepted")
+	}
+	if err := run([]string{"stats"}); err == nil {
+		t.Error("stats without inputs accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// Command optimatchd serves the OptImatch engine over HTTP — the paper's
+// client/server deployment (Figure 4). Load a workload directory at start,
+// then drive it with the JSON API (see internal/server for endpoints):
+//
+//	optimatchd -addr :8080 -load ./workload -extended
+//
+//	curl localhost:8080/api/plans
+//	curl -X POST --data-binary @plan.exfmt localhost:8080/api/plans
+//	curl -X POST --data-binary @pattern.json localhost:8080/api/search
+//	curl -X POST localhost:8080/api/kb/run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"optimatch/internal/core"
+	"optimatch/internal/kb"
+	"optimatch/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "optimatchd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		load     = flag.String("load", "", "directory of explain files to load at start")
+		kbFile   = flag.String("kb", "", "knowledge base JSON (default: built-in canonical patterns)")
+		extended = flag.Bool("extended", false, "use the extended built-in knowledge base (patterns E-G)")
+	)
+	flag.Parse()
+
+	eng := core.New()
+	if *load != "" {
+		n, err := eng.LoadDir(*load)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %d plan(s) from %s", n, *load)
+	}
+
+	var base *kb.KnowledgeBase
+	switch {
+	case *kbFile != "":
+		f, err := os.Open(*kbFile)
+		if err != nil {
+			return err
+		}
+		base, err = kb.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	case *extended:
+		base = kb.MustExtended()
+	default:
+		base = kb.MustCanonical()
+	}
+	log.Printf("knowledge base: %d entries", base.Len())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(eng, base).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("optimatchd listening on %s", *addr)
+	return srv.ListenAndServe()
+}

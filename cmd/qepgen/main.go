@@ -1,0 +1,81 @@
+// Command qepgen generates a synthetic explain-file workload (the stand-in
+// for the paper's proprietary IBM customer workload) and writes one .exfmt
+// file per plan plus a truth.json with the pattern-injection ground truth.
+//
+// Usage:
+//
+//	qepgen -out ./workload -n 1000 -seed 1 -inject-a 150 -inject-b 120 -inject-c 180
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"optimatch/internal/qep"
+	"optimatch/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qepgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "workload", "output directory")
+		n       = flag.Int("n", 100, "number of plans")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		minOps  = flag.Int("min-ops", 60, "minimum operators per plan")
+		maxOps  = flag.Int("max-ops", 240, "maximum operators per plan")
+		bimodal = flag.Bool("bimodal", false, "add a 500-550 operator mode (paper Section 3.2.2)")
+		injA    = flag.Int("inject-a", 0, "plans containing Pattern A (NLJOIN over large inner scan)")
+		injB    = flag.Int("inject-b", 0, "plans containing Pattern B (LOJ on both join sides)")
+		injC    = flag.Int("inject-c", 0, "plans containing Pattern C (cardinality collapse)")
+		injD    = flag.Int("inject-d", 0, "plans containing Pattern D (spilling sort)")
+		injG    = flag.Int("inject-g", 0, "plans containing Pattern G (cartesian join)")
+		hard    = flag.Float64("hard", 0.35, "fraction of injected instances in grep-hostile rendering")
+	)
+	flag.Parse()
+
+	w, err := workload.Generate(workload.Config{
+		Seed: *seed, NumPlans: *n, MinOps: *minOps, MaxOps: *maxOps, Bimodal: *bimodal,
+		InjectA: *injA, InjectB: *injB, InjectC: *injC, InjectD: *injD, InjectG: *injG,
+		HardFraction: *hard,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, p := range w.Plans {
+		f, err := os.Create(filepath.Join(*out, p.ID+".exfmt"))
+		if err != nil {
+			return err
+		}
+		if err := qep.Write(f, p); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	truth, err := os.Create(filepath.Join(*out, "truth.json"))
+	if err != nil {
+		return err
+	}
+	defer truth.Close()
+	enc := json.NewEncoder(truth)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(w.Truth); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d explain files and truth.json to %s\n", len(w.Plans), *out)
+	return nil
+}

@@ -1,0 +1,3 @@
+module optimatch
+
+go 1.22

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"optimatch/internal/fixtures"
+	"optimatch/internal/qep"
+	"optimatch/internal/workload"
+)
+
+func TestFeatures(t *testing.T) {
+	p := fixtures.Figure1()
+	f := Features(p)
+	if len(f) != NumFeatures {
+		t.Fatalf("features = %v", f)
+	}
+	// log10(1+15782.2) ~ 4.2
+	if f[0] < 4 || f[0] > 4.5 {
+		t.Errorf("cost feature = %v", f[0])
+	}
+	// 1 join out of 5 ops; 2 scans out of 5.
+	if math.Abs(f[2]-0.2) > 1e-9 || math.Abs(f[3]-0.4) > 1e-9 {
+		t.Errorf("mix features = %v, %v", f[2], f[3])
+	}
+	// SALES_FACT has 1e7 rows -> log10 ~ 7.
+	if f[4] < 6.9 || f[4] > 7.1 {
+		t.Errorf("data-scale feature = %v", f[4])
+	}
+}
+
+func TestFeaturesEmptyPlan(t *testing.T) {
+	p := qep.NewPlan("E")
+	f := Features(p)
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("feature %d = %v", i, v)
+		}
+	}
+}
+
+func genPlans(t *testing.T, n int) []*qep.Plan {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{Seed: 17, NumPlans: n, MinOps: 15, MaxOps: 200,
+		InjectA: n / 5, InjectC: n / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Plans
+}
+
+func TestKMeansBasics(t *testing.T) {
+	plans := genPlans(t, 40)
+	res, err := KMeans(plans, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 4 {
+		t.Fatalf("K = %d", res.K())
+	}
+	total := 0
+	for c, cl := range res.Clusters {
+		if len(cl.PlanIDs) == 0 {
+			t.Errorf("cluster %d empty", c)
+		}
+		total += len(cl.PlanIDs)
+		if len(cl.Centroid) != NumFeatures {
+			t.Errorf("cluster %d centroid = %v", c, cl.Centroid)
+		}
+		for _, id := range cl.PlanIDs {
+			if res.ClusterOf(id) != c {
+				t.Errorf("assignment inconsistent for %s", id)
+			}
+		}
+	}
+	if total != len(plans) {
+		t.Errorf("clustered %d of %d plans", total, len(plans))
+	}
+	if res.ClusterOf("GHOST") != -1 {
+		t.Error("unknown plan should map to -1")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	plans := genPlans(t, 30)
+	r1, err := KMeans(plans, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(plans, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range r1.Clusters {
+		if !reflect.DeepEqual(r1.Clusters[c].PlanIDs, r2.Clusters[c].PlanIDs) {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	plans := genPlans(t, 5)
+	if _, err := KMeans(plans, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(plans, 6, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	plans := genPlans(t, 10)
+	res, err := KMeans(plans, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters[0].PlanIDs) != 10 {
+		t.Errorf("k=1 cluster size = %d", len(res.Clusters[0].PlanIDs))
+	}
+}
+
+func TestKMeansSeparatesCostScales(t *testing.T) {
+	// Two clearly-separated populations: tiny cheap plans and huge costly
+	// plans; k=2 must separate them perfectly.
+	cheap, err := workload.Generate(workload.Config{Seed: 5, NumPlans: 10, MinOps: 10, MaxOps: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := workload.Generate(workload.Config{Seed: 6, NumPlans: 10, MinOps: 180, MaxOps: 220})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans []*qep.Plan
+	for i, p := range cheap.Plans {
+		p.ID = "CHEAP" + p.ID
+		plans = append(plans, p)
+		_ = i
+	}
+	for _, p := range costly.Plans {
+		p.ID = "COSTLY" + p.ID
+		plans = append(plans, p)
+	}
+	res, err := KMeans(plans, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := res.ClusterOf("CHEAPQ1")
+	for _, p := range cheap.Plans {
+		if res.ClusterOf(p.ID) != c0 {
+			t.Fatalf("cheap plans split across clusters")
+		}
+	}
+	for _, p := range costly.Plans {
+		if res.ClusterOf(p.ID) == c0 {
+			t.Fatalf("costly plan clustered with cheap ones")
+		}
+	}
+}
+
+func TestCorrelate(t *testing.T) {
+	plans := genPlans(t, 20)
+	res, err := KMeans(plans, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern matching exactly the plans of cluster 0 -> lift of cluster 0
+	// is 1/overall, cluster 1 rate is 0.
+	matched := make(map[string]bool)
+	for _, id := range res.Clusters[0].PlanIDs {
+		matched[id] = true
+	}
+	pc := Correlate(res, "test", matched, len(plans))
+	if pc.Rate[0] != 1 || pc.Rate[1] != 0 {
+		t.Errorf("rates = %v", pc.Rate)
+	}
+	wantOverall := float64(len(res.Clusters[0].PlanIDs)) / float64(len(plans))
+	if math.Abs(pc.Overall-wantOverall) > 1e-9 {
+		t.Errorf("overall = %v, want %v", pc.Overall, wantOverall)
+	}
+	if math.Abs(pc.Lift[0]-1/wantOverall) > 1e-9 {
+		t.Errorf("lift = %v", pc.Lift[0])
+	}
+	// Empty match set: zero rates, zero overall.
+	pc = Correlate(res, "none", nil, len(plans))
+	if pc.Overall != 0 || pc.Rate[0] != 0 || pc.Lift[0] != 0 {
+		t.Errorf("empty correlation = %+v", pc)
+	}
+}

@@ -1,0 +1,442 @@
+// Package core implements the OptImatch engine (the paper's Figure 4
+// architecture): it loads query execution plans, transforms each into an
+// RDF graph exactly once (Algorithm 1), matches user-defined problem
+// patterns compiled to SPARQL against every plan (Algorithm 3:
+// FindingMatches), and scans the knowledge base to produce ranked,
+// context-adapted recommendations per plan (Algorithm 5:
+// FindingRecommendationsKB). Plan matching is parallelized across a worker
+// pool; each plan's graph is immutable after load and safe for concurrent
+// readers.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"optimatch/internal/kb"
+	"optimatch/internal/pattern"
+	"optimatch/internal/qep"
+	"optimatch/internal/rdf"
+	"optimatch/internal/sparql"
+	"optimatch/internal/transform"
+)
+
+// NoRecommendation is the message reported for a plan no knowledge-base
+// entry matches (paper Algorithm 5, line 6).
+const NoRecommendation = "There is currently no recommendation in knowledge base"
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the matcher's parallelism (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// WithExecOptions overrides SPARQL evaluation options (used by the ablation
+// benchmarks).
+func WithExecOptions(opts sparql.ExecOptions) Option {
+	return func(e *Engine) { e.execOpts = opts }
+}
+
+// Engine holds a workload of transformed plans and matches patterns against
+// it.
+type Engine struct {
+	mu       sync.RWMutex
+	plans    []*transform.Result
+	byID     map[string]*transform.Result
+	workers  int
+	execOpts sparql.ExecOptions
+}
+
+// New returns an empty engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		byID:    make(map[string]*transform.Result),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// LoadPlan transforms and registers a parsed plan.
+func (e *Engine) LoadPlan(p *qep.Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	r := transform.Transform(p)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.byID[p.ID]; dup {
+		return fmt.Errorf("core: plan %q already loaded", p.ID)
+	}
+	e.plans = append(e.plans, r)
+	e.byID[p.ID] = r
+	return nil
+}
+
+// LoadResult registers an already-transformed plan, sharing its RDF graph
+// instead of re-transforming. Used when several engines slice one workload
+// (the scalability experiments build ten cumulative buckets over the same
+// thousand plans).
+func (e *Engine) LoadResult(r *transform.Result) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.byID[r.Plan.ID]; dup {
+		return fmt.Errorf("core: plan %q already loaded", r.Plan.ID)
+	}
+	e.plans = append(e.plans, r)
+	e.byID[r.Plan.ID] = r
+	return nil
+}
+
+// LoadPlans registers a batch of plans.
+func (e *Engine) LoadPlans(plans []*qep.Plan) error {
+	for _, p := range plans {
+		if err := e.LoadPlan(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadText parses explain text and registers the plan.
+func (e *Engine) LoadText(text string) (*qep.Plan, error) {
+	p, err := qep.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.LoadPlan(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// LoadDir parses every explain file (*.txt, *.exfmt, *.exp) in dir and
+// registers the plans. It returns the number of plans loaded.
+func (e *Engine) LoadDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	n := 0
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		switch filepath.Ext(ent.Name()) {
+		case ".txt", ".exfmt", ".exp":
+		default:
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return n, fmt.Errorf("core: %s: %w", ent.Name(), err)
+		}
+		if _, err := e.LoadText(string(data)); err != nil {
+			return n, fmt.Errorf("core: %s: %w", ent.Name(), err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// NumPlans reports how many plans are loaded.
+func (e *Engine) NumPlans() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.plans)
+}
+
+// Plans returns the loaded plans in load order.
+func (e *Engine) Plans() []*qep.Plan {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*qep.Plan, len(e.plans))
+	for i, r := range e.plans {
+		out[i] = r.Plan
+	}
+	return out
+}
+
+// Plan returns the loaded plan with the given ID, or nil.
+func (e *Engine) Plan(id string) *qep.Plan {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if r, ok := e.byID[id]; ok {
+		return r.Plan
+	}
+	return nil
+}
+
+// Binding is one de-transformed result-handler binding of a match.
+type Binding struct {
+	Alias    string
+	Term     rdf.Term
+	Operator *qep.Operator   // non-nil when the resource is a LOLEPOP
+	Object   *qep.BaseObject // non-nil when the resource is a base object
+	Display  string          // "NLJOIN(2)", "CUST_DIM", or the raw term
+}
+
+// Match is one occurrence of a pattern in one plan, with all result
+// handlers de-transformed back to plan entities (Algorithm 3, line 6).
+type Match struct {
+	Plan     *qep.Plan
+	Bindings []Binding
+}
+
+// Binding returns the named binding (case-insensitive), or nil.
+func (m *Match) Binding(alias string) *Binding {
+	for i := range m.Bindings {
+		if strings.EqualFold(m.Bindings[i].Alias, alias) {
+			return &m.Bindings[i]
+		}
+	}
+	return nil
+}
+
+// String renders the match compactly: "Q2: TOP=NLJOIN(2) ANY2=FETCH(3) ...".
+func (m *Match) String() string {
+	var b strings.Builder
+	b.WriteString(m.Plan.ID)
+	b.WriteString(":")
+	for _, bind := range m.Bindings {
+		b.WriteString(" ")
+		b.WriteString(bind.Alias)
+		b.WriteString("=")
+		b.WriteString(bind.Display)
+	}
+	return b.String()
+}
+
+// FindPattern compiles the problem pattern and matches it against every
+// loaded plan (Algorithm 3). Matches are returned in plan load order.
+func (e *Engine) FindPattern(p *pattern.Pattern) ([]Match, error) {
+	c, err := pattern.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return e.FindCompiled(c)
+}
+
+// FindCompiled matches an already-compiled pattern.
+func (e *Engine) FindCompiled(c *pattern.Compiled) ([]Match, error) {
+	return e.FindSPARQL(c.Query)
+}
+
+// FindSPARQL matches a raw SPARQL query against every loaded plan. Every
+// projected column becomes a binding; resources are de-transformed.
+func (e *Engine) FindSPARQL(query string) ([]Match, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	plans := append([]*transform.Result(nil), e.plans...)
+	e.mu.RUnlock()
+
+	type chunk struct {
+		idx     int
+		matches []Match
+		err     error
+	}
+	results := make([]chunk, len(plans))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	for i, r := range plans {
+		wg.Add(1)
+		go func(i int, r *transform.Result) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ms, err := e.matchPlan(q, r)
+			results[i] = chunk{idx: i, matches: ms, err: err}
+		}(i, r)
+	}
+	wg.Wait()
+
+	var out []Match
+	for _, c := range results {
+		if c.err != nil {
+			return nil, c.err
+		}
+		out = append(out, c.matches...)
+	}
+	return out, nil
+}
+
+func (e *Engine) matchPlan(q *sparql.Query, r *transform.Result) ([]Match, error) {
+	res, err := q.ExecOpts(r.Graph, e.execOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: plan %s: %w", r.Plan.ID, err)
+	}
+	var out []Match
+	for i := 0; i < res.Len(); i++ {
+		m := Match{Plan: r.Plan}
+		for _, v := range res.Vars {
+			t := res.Get(i, v)
+			m.Bindings = append(m.Bindings, Binding{
+				Alias:    v,
+				Term:     t,
+				Operator: r.Operator(t),
+				Object:   r.Object(t),
+				Display:  r.Describe(t),
+			})
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// PlanReport is the knowledge-base outcome for one plan: ranked
+// recommendations, or none (Algorithm 5's "no recommendation" case).
+type PlanReport struct {
+	Plan            *qep.Plan
+	Recommendations []kb.Ranked
+}
+
+// HasRecommendations reports whether any KB entry matched.
+func (pr *PlanReport) HasRecommendations() bool { return len(pr.Recommendations) > 0 }
+
+// Message returns the top-line outcome for the plan.
+func (pr *PlanReport) Message() string {
+	if !pr.HasRecommendations() {
+		return NoRecommendation
+	}
+	return fmt.Sprintf("%d recommendation(s), top confidence %.2f",
+		len(pr.Recommendations), pr.Recommendations[0].Confidence)
+}
+
+// RunKB scans every loaded plan against every knowledge-base entry
+// (Algorithm 5): each entry's stored SPARQL query is matched, occurrences
+// are de-transformed, recommendation templates are adapted to the plan's
+// context through the handler tags, and the results are ranked by
+// statistical confidence. Reports come back in plan load order.
+func (e *Engine) RunKB(k *kb.KnowledgeBase) ([]PlanReport, error) {
+	// Parse every entry query once.
+	entries := make([]compiledEntry, 0, k.Len())
+	for _, entry := range k.Entries() {
+		q, err := sparql.Parse(entry.SPARQL)
+		if err != nil {
+			return nil, fmt.Errorf("core: kb entry %q: %w", entry.Name, err)
+		}
+		entries = append(entries, compiledEntry{entry: entry, query: q})
+	}
+
+	e.mu.RLock()
+	plans := append([]*transform.Result(nil), e.plans...)
+	e.mu.RUnlock()
+
+	reports := make([]PlanReport, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	for i, r := range plans {
+		wg.Add(1)
+		go func(i int, r *transform.Result) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reports[i], errs[i] = e.planReport(entries, r)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}
+
+// compiledEntry pairs a knowledge-base entry with its parsed query.
+type compiledEntry struct {
+	entry *kb.Entry
+	query *sparql.Query
+}
+
+// planReport matches every knowledge-base entry against one plan and
+// assembles the ranked recommendation list.
+func (e *Engine) planReport(entries []compiledEntry, r *transform.Result) (PlanReport, error) {
+	report := PlanReport{Plan: r.Plan}
+	for _, ce := range entries {
+		res, err := ce.query.ExecOpts(r.Graph, e.execOpts)
+		if err != nil {
+			return report, fmt.Errorf("core: plan %s, entry %s: %w", r.Plan.ID, ce.entry.Name, err)
+		}
+		if res.Len() == 0 {
+			continue
+		}
+		occs := make([]kb.Occurrence, 0, res.Len())
+		for i := 0; i < res.Len(); i++ {
+			bind := make(map[string]rdf.Term, len(res.Vars))
+			for _, v := range res.Vars {
+				bind[v] = res.Get(i, v)
+			}
+			occs = append(occs, kb.Occurrence{Plan: r.Plan, Result: r, Bindings: bind})
+		}
+		ranked, err := ce.entry.Apply(occs)
+		if err != nil {
+			return report, fmt.Errorf("core: plan %s, entry %s: %w", r.Plan.ID, ce.entry.Name, err)
+		}
+		report.Recommendations = append(report.Recommendations, ranked...)
+	}
+	kb.SortRanked(report.Recommendations)
+	return report, nil
+}
+
+// WorkloadSummary aggregates a KB run for reporting: how many plans matched
+// each entry, ordered by entry name.
+type WorkloadSummary struct {
+	TotalPlans   int
+	PlansMatched int
+	ByEntry      []EntryCount
+}
+
+// EntryCount is the per-entry tally of a workload scan.
+type EntryCount struct {
+	Name  string
+	Plans int // plans with >= 1 occurrence
+	Recs  int // total recommendation lines emitted
+}
+
+// Summarize aggregates KB reports.
+func Summarize(reports []PlanReport) WorkloadSummary {
+	s := WorkloadSummary{TotalPlans: len(reports)}
+	perEntry := make(map[string]*EntryCount)
+	for i := range reports {
+		if !reports[i].HasRecommendations() {
+			continue
+		}
+		s.PlansMatched++
+		seen := make(map[string]bool)
+		for _, rec := range reports[i].Recommendations {
+			ec := perEntry[rec.Entry.Name]
+			if ec == nil {
+				ec = &EntryCount{Name: rec.Entry.Name}
+				perEntry[rec.Entry.Name] = ec
+			}
+			ec.Recs++
+			if !seen[rec.Entry.Name] {
+				seen[rec.Entry.Name] = true
+				ec.Plans++
+			}
+		}
+	}
+	for _, ec := range perEntry {
+		s.ByEntry = append(s.ByEntry, *ec)
+	}
+	sort.Slice(s.ByEntry, func(i, j int) bool { return s.ByEntry[i].Name < s.ByEntry[j].Name })
+	return s
+}

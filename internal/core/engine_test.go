@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"optimatch/internal/fixtures"
+	"optimatch/internal/kb"
+	"optimatch/internal/pattern"
+	"optimatch/internal/qep"
+	"optimatch/internal/sparql"
+	"optimatch/internal/workload"
+)
+
+func engineWithFixtures(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	if err := e.LoadPlans(fixtures.All()); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLoadAndAccessors(t *testing.T) {
+	e := engineWithFixtures(t)
+	if e.NumPlans() != 5 {
+		t.Fatalf("NumPlans = %d", e.NumPlans())
+	}
+	if e.Plan("Q2") == nil || e.Plan("GHOST") != nil {
+		t.Error("Plan lookup wrong")
+	}
+	if got := len(e.Plans()); got != 5 {
+		t.Errorf("Plans() = %d", got)
+	}
+	// Duplicate plan IDs rejected.
+	if err := e.LoadPlan(fixtures.Figure1()); err == nil {
+		t.Error("duplicate plan accepted")
+	}
+	// Invalid plan rejected.
+	if err := e.LoadPlan(qep.NewPlan("EMPTY")); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestLoadText(t *testing.T) {
+	e := New()
+	p, err := e.LoadText(qep.Text(fixtures.Figure1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != "Q2" || e.NumPlans() != 1 {
+		t.Errorf("loaded plan = %+v", p.ID)
+	}
+	if _, err := e.LoadText("garbage"); err == nil {
+		t.Error("garbage text accepted")
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	for i, p := range fixtures.All() {
+		name := filepath.Join(dir, p.ID+".exfmt")
+		if i == 0 {
+			name = filepath.Join(dir, p.ID+".txt")
+		}
+		if err := os.WriteFile(name, []byte(qep.Text(p)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-explain files are skipped.
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e := New()
+	n, err := e.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || e.NumPlans() != 5 {
+		t.Errorf("loaded %d plans", n)
+	}
+	if _, err := e.LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing dir accepted")
+	}
+	// A broken explain file surfaces an error.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "bad.txt"), []byte("Plan Details:\nnot a plan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().LoadDir(bad); err == nil {
+		t.Error("broken explain file accepted")
+	}
+}
+
+func TestFindPatternAcrossWorkload(t *testing.T) {
+	e := engineWithFixtures(t)
+	matches, err := e.FindPattern(pattern.A())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(matches))
+	}
+	m := matches[0]
+	if m.Plan.ID != "Q2" {
+		t.Errorf("matched plan = %s", m.Plan.ID)
+	}
+	top := m.Binding("TOP")
+	if top == nil || top.Operator == nil || top.Operator.Type != "NLJOIN" {
+		t.Errorf("TOP binding = %+v", top)
+	}
+	base := m.Binding("BASE4")
+	if base == nil || base.Object == nil || base.Object.Name != "CUST_DIM" {
+		t.Errorf("BASE4 binding = %+v", base)
+	}
+	if m.Binding("nosuch") != nil {
+		t.Error("unknown alias returned a binding")
+	}
+	s := m.String()
+	for _, want := range []string{"Q2:", "TOP=NLJOIN(2)", "BASE4=CUST_DIM"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Match.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFindSPARQLDirect(t *testing.T) {
+	e := engineWithFixtures(t)
+	// All SORT operators across the workload.
+	matches, err := e.FindSPARQL(`PREFIX preduri: <http://optimatch/pred/>
+SELECT ?s WHERE { ?s preduri:hasPopType "SORT" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].Plan.ID != "Q9" {
+		t.Errorf("matches = %+v", matches)
+	}
+	if _, err := e.FindSPARQL("SELECT nonsense"); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestFindPatternParallelMatchesSerial(t *testing.T) {
+	w, err := workload.Generate(workload.Config{Seed: 31, NumPlans: 30, MinOps: 20, MaxOps: 60,
+		InjectA: 6, InjectB: 5, InjectC: 7, InjectD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := New(WithWorkers(1))
+	parallel := New(WithWorkers(8))
+	if err := serial.LoadPlans(w.Plans); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.LoadPlans(w.Plans); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pattern.Canonical() {
+		m1, err := serial.FindPattern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := parallel.FindPattern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := matchStrings(m1)
+		s2 := matchStrings(m2)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: parallel != serial:\n%v\nvs\n%v", p.Name, s1, s2)
+		}
+	}
+}
+
+func matchStrings(ms []Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	return out
+}
+
+func TestFindPatternAgainstGroundTruth(t *testing.T) {
+	w, err := workload.Generate(workload.Config{Seed: 77, NumPlans: 50, MinOps: 20, MaxOps: 80,
+		InjectA: 10, InjectB: 9, InjectC: 11, InjectD: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New()
+	if err := e.LoadPlans(w.Plans); err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]*pattern.Pattern{
+		workload.KeyA: pattern.A(),
+		workload.KeyB: pattern.B(),
+		workload.KeyC: pattern.C(),
+		workload.KeyD: pattern.D(),
+	}
+	for key, p := range keys {
+		matches, err := e.FindPattern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]bool)
+		for _, m := range matches {
+			got[m.Plan.ID] = true
+		}
+		if len(got) != w.Truth.Count(key) {
+			t.Errorf("pattern %s: matched %d plans, injected %d", key, len(got), w.Truth.Count(key))
+		}
+		for id := range w.Truth[key] {
+			if !got[id] {
+				t.Errorf("pattern %s: injected plan %s not matched", key, id)
+			}
+		}
+	}
+}
+
+func TestRunKB(t *testing.T) {
+	e := engineWithFixtures(t)
+	reports, err := e.RunKB(kb.MustCanonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 5 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	byID := make(map[string]*PlanReport)
+	for i := range reports {
+		byID[reports[i].Plan.ID] = &reports[i]
+	}
+	// Figure 1 plan: Pattern A's two recommendations.
+	q2 := byID["Q2"]
+	if !q2.HasRecommendations() || len(q2.Recommendations) != 2 {
+		t.Fatalf("Q2 recommendations = %d", len(q2.Recommendations))
+	}
+	if !strings.Contains(q2.Recommendations[0].Text, "CUST_DIM") {
+		t.Errorf("Q2 top recommendation lacks context: %s", q2.Recommendations[0].Text)
+	}
+	if !strings.Contains(q2.Message(), "recommendation") {
+		t.Errorf("message = %q", q2.Message())
+	}
+	// Figure 7: Pattern B (2 recs) + Pattern C (IXSCAN collapse, 1 rec).
+	q21 := byID["Q21"]
+	if len(q21.Recommendations) != 3 {
+		t.Errorf("Q21 recommendations = %d, want 3", len(q21.Recommendations))
+	}
+	// Clean plan: nothing.
+	q0 := byID["Q0"]
+	if q0.HasRecommendations() {
+		t.Errorf("Q0 should have no recommendations: %+v", q0.Recommendations)
+	}
+	if q0.Message() != NoRecommendation {
+		t.Errorf("Q0 message = %q", q0.Message())
+	}
+	// Ranking is descending within each report.
+	for _, r := range reports {
+		for i := 1; i < len(r.Recommendations); i++ {
+			if r.Recommendations[i-1].Confidence < r.Recommendations[i].Confidence {
+				t.Errorf("plan %s: recommendations not ranked", r.Plan.ID)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	e := engineWithFixtures(t)
+	reports, err := e.RunKB(kb.MustCanonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(reports)
+	if s.TotalPlans != 5 {
+		t.Errorf("TotalPlans = %d", s.TotalPlans)
+	}
+	if s.PlansMatched != 4 { // all fixtures except Clean
+		t.Errorf("PlansMatched = %d", s.PlansMatched)
+	}
+	counts := make(map[string]EntryCount)
+	for _, ec := range s.ByEntry {
+		counts[ec.Name] = ec
+	}
+	if counts["nljoin-inner-tbscan"].Plans != 1 || counts["nljoin-inner-tbscan"].Recs != 2 {
+		t.Errorf("pattern A counts = %+v", counts["nljoin-inner-tbscan"])
+	}
+	if counts["scan-cardinality-collapse"].Plans != 2 { // fig7 + fig8
+		t.Errorf("pattern C counts = %+v", counts["scan-cardinality-collapse"])
+	}
+	// Summary is sorted by name.
+	for i := 1; i < len(s.ByEntry); i++ {
+		if s.ByEntry[i-1].Name > s.ByEntry[i].Name {
+			t.Error("summary not sorted")
+		}
+	}
+}
+
+func TestWithExecOptionsAblation(t *testing.T) {
+	e1 := New()
+	e2 := New(WithExecOptions(sparql.ExecOptions{DisableReorder: true}))
+	for _, e := range []*Engine{e1, e2} {
+		if err := e.LoadPlans(fixtures.All()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pattern.Canonical() {
+		m1, err := e1.FindPattern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := e2.FindPattern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(matchStrings(m1), matchStrings(m2)) {
+			t.Errorf("%s: reorder ablation changed results", p.Name)
+		}
+	}
+}
+
+// TestConcurrentEngineUse hammers one engine from many goroutines mixing
+// pattern search and knowledge-base scans; the race detector (when enabled)
+// and result comparison guard the engine's concurrency contract.
+func TestConcurrentEngineUse(t *testing.T) {
+	w, err := workload.Generate(workload.Config{Seed: 41, NumPlans: 20, MinOps: 15, MaxOps: 50,
+		InjectA: 4, InjectB: 3, InjectC: 5, InjectD: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(WithWorkers(4))
+	if err := e.LoadPlans(w.Plans); err != nil {
+		t.Fatal(err)
+	}
+	base := kb.MustCanonical()
+	wantA, err := e.FindPattern(pattern.A())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				got, err := e.FindPattern(pattern.A())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != len(wantA) {
+					errs <- fmt.Errorf("concurrent FindPattern: %d matches, want %d", len(got), len(wantA))
+				}
+			case 1:
+				if _, err := e.RunKB(base); err != nil {
+					errs <- err
+				}
+			default:
+				if _, err := e.FindPattern(pattern.D()); err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestGroundTruthIncludesPatternG extends the exactness check to the
+// negative (NOT EXISTS) pattern.
+func TestGroundTruthIncludesPatternG(t *testing.T) {
+	w, err := workload.Generate(workload.Config{Seed: 43, NumPlans: 30, MinOps: 20, MaxOps: 60, InjectG: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New()
+	if err := e.LoadPlans(w.Plans); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := e.FindPattern(pattern.G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, m := range matches {
+		got[m.Plan.ID] = true
+	}
+	if len(got) != 6 {
+		t.Errorf("pattern G plans = %d, want 6", len(got))
+	}
+	for id := range w.Truth[workload.KeyG] {
+		if !got[id] {
+			t.Errorf("injected plan %s not matched", id)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package kb
+
+import (
+	"fmt"
+
+	"optimatch/internal/pattern"
+)
+
+// Canonical populates a knowledge base with the paper's four expert
+// patterns and their recommendations (Sections 2.2–2.3): indexing advice for
+// Pattern A (with the statistics alternative the paper describes), the
+// query rewrite for Pattern B, column group statistics for Pattern C and
+// the sort-memory configuration change for Pattern D.
+func Canonical() (*KnowledgeBase, error) {
+	k := New()
+
+	if _, err := k.Add(pattern.A(),
+		Recommendation{
+			Title:    "Create index on inner table",
+			Category: "INDEX",
+			Weight:   1.0,
+			Template: "Create index on @BASE4.NAME on columns (@BASE4(INPUT)) so the nested loop join @TOP " +
+				"does not rescan the whole table for each of the @ANY2.CARD outer rows.",
+		},
+		Recommendation{
+			Title:    "Collect column group statistics for a better join method",
+			Category: "STATISTICS",
+			Weight:   0.8,
+			Template: "Collect column group statistics on the join predicate columns of @BASE4.NAME " +
+				"(@TOP(PREDICATE)); better cardinality estimates may let the optimizer choose a hash join " +
+				"instead of the nested loop join @TOP.",
+		},
+	); err != nil {
+		return nil, err
+	}
+
+	if _, err := k.Add(pattern.B(),
+		Recommendation{
+			Title:    "Rewrite join of two left-outer-join subtrees",
+			Category: "REWRITE",
+			Weight:   1.0,
+			Template: "Rewrite the query from (T1 LOJ T2) JOIN (T3 LOJ T4) to ((T1 LOJ T2) JOIN T3) LOJ T4: " +
+				"join @TOP combines the left outer joins @LOJLEFT and @LOJRIGHT; pulling the second outer join " +
+				"above the inner join is more efficient.",
+		},
+		Recommendation{
+			Title:    "Materialize when both sides share the outer table",
+			Category: "MQT",
+			Weight:   0.6,
+			Template: "If both outer-join subtrees under @TOP read the same table, materialize the payload " +
+				"column(s) into the shared table and eliminate one instance (unique-key self join).",
+		},
+	); err != nil {
+		return nil, err
+	}
+
+	if _, err := k.Add(pattern.C(),
+		Recommendation{
+			Title:    "Create column group statistics",
+			Category: "STATISTICS",
+			Weight:   1.0,
+			Template: "Create column group statistics (CGS) on the equality local predicate columns and the " +
+				"equality join predicate columns of @BASE2.NAME (@TOP(PREDICATE)): @TOP estimates @TOP.CARD " +
+				"rows out of @BASE2.CARD, indicating statistical correlation between predicate columns.",
+		},
+	); err != nil {
+		return nil, err
+	}
+
+	if _, err := k.Add(pattern.D(),
+		Recommendation{
+			Title:          "Increase sort memory",
+			Category:       "CONFIG",
+			Weight:         0.9,
+			MaxOccurrences: 1,
+			Template: "Sort operator @TOP has I/O cost @TOP.IOCOST, higher than its input @INPUT2 " +
+				"(@INPUT2.IOCOST) — a spill indicator. Increase the sort memory configuration (SORTHEAP) if " +
+				"many queries in the workload show this pattern.",
+		},
+	); err != nil {
+		return nil, err
+	}
+
+	return k, nil
+}
+
+// Extended returns the canonical knowledge base plus entries for the
+// motivating-scenario extensions: Pattern E (expensive materialized
+// subquery) and Pattern F (shared common subexpression, the Section 2.2
+// ambiguity example).
+func Extended() (*KnowledgeBase, error) {
+	k, err := Canonical()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := k.Add(pattern.E(),
+		Recommendation{
+			Title:    "Rewrite or index the expensive subquery",
+			Category: "REWRITE",
+			Weight:   0.9,
+			Template: "The materialized subquery @TOP costs @TOP.COST — more than half of the whole plan. " +
+				"Consider rewriting the subquery, pushing predicates into it, or indexing the columns it " +
+				"reads from @INPUT2.",
+		},
+	); err != nil {
+		return nil, err
+	}
+	if _, err := k.Add(pattern.F(),
+		Recommendation{
+			Title:          "Review the shared common subexpression",
+			Category:       "REWRITE",
+			Weight:         0.7,
+			MaxOccurrences: 1,
+			Template: "@TOP is a common subexpression consumed by both @CONSUMER2 and @CONSUMER3 with " +
+				"different predicates; check whether pushing the selective predicates inside the " +
+				"materialization (or splitting it per consumer) reduces its @TOP.CARD rows.",
+		},
+	); err != nil {
+		return nil, err
+	}
+	if _, err := k.Add(pattern.G(),
+		Recommendation{
+			Title:    "Add the missing join predicate",
+			Category: "REWRITE",
+			Weight:   1.0,
+			Template: "@TOP joins @OUTER2 (@OUTER2.CARD rows) with @INNER3 (@INNER3.CARD rows) without any " +
+				"join predicate — a cartesian product producing @TOP.CARD rows. Verify the query's join " +
+				"condition; a missing or mistyped predicate is the usual cause.",
+		},
+	); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustExtended is Extended for initialization paths that cannot fail.
+func MustExtended() *KnowledgeBase {
+	k, err := Extended()
+	if err != nil {
+		panic(fmt.Sprintf("kb: extended knowledge base: %v", err))
+	}
+	return k
+}
+
+// MustCanonical is Canonical for initialization paths that cannot fail.
+func MustCanonical() *KnowledgeBase {
+	k, err := Canonical()
+	if err != nil {
+		panic(fmt.Sprintf("kb: canonical knowledge base: %v", err))
+	}
+	return k
+}

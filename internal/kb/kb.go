@@ -1,0 +1,218 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"optimatch/internal/pattern"
+)
+
+// Recommendation is one expert remedy attached to a pattern. Template is
+// written in the handler tagging language and is adapted to each matched
+// plan's context at report time.
+type Recommendation struct {
+	Title    string  `json:"title"`
+	Template string  `json:"template"`
+	Category string  `json:"category,omitempty"` // INDEX, REWRITE, STATISTICS, CONFIG, MQT, CONSTRAINT
+	Weight   float64 `json:"weight,omitempty"`   // expert prior in (0, 1]; 0 means 1
+	// MaxOccurrences limits how many occurrences of a common pattern produce
+	// a recommendation line (0 = all occurrences; paper Section 2.3).
+	MaxOccurrences int `json:"maxOccurrences,omitempty"`
+}
+
+// Entry is one knowledge-base record: the problem pattern preserved both as
+// an executable SPARQL query and as its declarative (JSON) form, the expert
+// recommendations, and the ranking profile.
+type Entry struct {
+	Name            string           `json:"name"`
+	Description     string           `json:"description,omitempty"`
+	Pattern         *pattern.Pattern `json:"pattern"`
+	SPARQL          string           `json:"sparql"`
+	Recommendations []Recommendation `json:"recommendations"`
+	Profile         []float64        `json:"profile,omitempty"`
+
+	compiled *pattern.Compiled
+}
+
+// Compiled returns the compiled form of the entry's pattern.
+func (e *Entry) Compiled() *pattern.Compiled { return e.compiled }
+
+// Aliases returns the set of legal tagging aliases (uppercased).
+func (e *Entry) Aliases() map[string]bool {
+	out := make(map[string]bool, len(e.compiled.Handlers))
+	for _, h := range e.compiled.Handlers {
+		out[strings.ToUpper(h.Alias)] = true
+	}
+	return out
+}
+
+// KnowledgeBase is an ordered collection of entries.
+type KnowledgeBase struct {
+	entries []*Entry
+}
+
+// New returns an empty knowledge base.
+func New() *KnowledgeBase { return &KnowledgeBase{} }
+
+// Len reports the number of entries.
+func (kb *KnowledgeBase) Len() int { return len(kb.entries) }
+
+// Entries returns the entries in insertion order. The slice is shared; do
+// not mutate.
+func (kb *KnowledgeBase) Entries() []*Entry { return kb.entries }
+
+// Entry returns the named entry, or nil.
+func (kb *KnowledgeBase) Entry(name string) *Entry {
+	for _, e := range kb.entries {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Add saves a problem pattern with its recommendations (Algorithm 4:
+// SavingRecommendationsKB). The pattern is compiled to SPARQL and preserved
+// in both forms; every recommendation template is validated against the
+// pattern's handler aliases so that context adaptation cannot fail later.
+func (kb *KnowledgeBase) Add(p *pattern.Pattern, recs ...Recommendation) (*Entry, error) {
+	if p.Name == "" {
+		return nil, fmt.Errorf("kb: pattern must be named")
+	}
+	if kb.Entry(p.Name) != nil {
+		return nil, fmt.Errorf("kb: entry %q already exists", p.Name)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("kb: entry %q has no recommendations", p.Name)
+	}
+	compiled, err := pattern.Compile(p)
+	if err != nil {
+		return nil, fmt.Errorf("kb: entry %q: %w", p.Name, err)
+	}
+	e := &Entry{
+		Name:            p.Name,
+		Description:     p.Description,
+		Pattern:         p,
+		SPARQL:          compiled.Query,
+		Recommendations: recs,
+		Profile:         DefaultProfile(p),
+		compiled:        compiled,
+	}
+	aliases := e.Aliases()
+	for _, rec := range recs {
+		if strings.TrimSpace(rec.Template) == "" {
+			return nil, fmt.Errorf("kb: entry %q: recommendation %q has empty template", p.Name, rec.Title)
+		}
+		if err := validateTemplate(rec.Template, aliases); err != nil {
+			return nil, fmt.Errorf("kb: entry %q: recommendation %q: %w", p.Name, rec.Title, err)
+		}
+	}
+	kb.entries = append(kb.entries, e)
+	return e, nil
+}
+
+// SetProfile overrides the entry's expert ranking profile.
+func (e *Entry) SetProfile(profile []float64) error {
+	if len(profile) != NumFeatures {
+		return fmt.Errorf("kb: profile must have %d features, got %d", NumFeatures, len(profile))
+	}
+	e.Profile = append([]float64(nil), profile...)
+	return nil
+}
+
+// Ranked is one context-adapted, scored recommendation produced by matching
+// a knowledge-base entry against a plan.
+type Ranked struct {
+	Entry          *Entry
+	Recommendation Recommendation
+	Occurrence     Occurrence
+	Text           string  // template expanded in the plan's context
+	Confidence     float64 // [0, 1]
+}
+
+// Apply expands and scores the entry's recommendations over the pattern's
+// occurrences in one plan, honoring each recommendation's occurrence limit.
+// Occurrences are processed in deterministic order.
+func (e *Entry) Apply(occs []Occurrence) ([]Ranked, error) {
+	SortOccurrences(occs)
+	var out []Ranked
+	for _, rec := range e.Recommendations {
+		limit := rec.MaxOccurrences
+		for i := range occs {
+			if limit > 0 && i >= limit {
+				break
+			}
+			text, err := expandTemplate(rec.Template, &occs[i])
+			if err != nil {
+				return nil, fmt.Errorf("kb: entry %q: %w", e.Name, err)
+			}
+			out = append(out, Ranked{
+				Entry:          e,
+				Recommendation: rec,
+				Occurrence:     occs[i],
+				Text:           text,
+				Confidence:     Confidence(e.Profile, Features(&occs[i]), rec.Weight),
+			})
+		}
+	}
+	SortRanked(out)
+	return out, nil
+}
+
+// SortRanked orders recommendations by confidence (descending), breaking
+// ties by entry name and text for determinism.
+func SortRanked(rs []Ranked) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Confidence != rs[j].Confidence {
+			return rs[i].Confidence > rs[j].Confidence
+		}
+		if rs[i].Entry.Name != rs[j].Entry.Name {
+			return rs[i].Entry.Name < rs[j].Entry.Name
+		}
+		return rs[i].Text < rs[j].Text
+	})
+}
+
+// kbFile is the persistence envelope.
+type kbFile struct {
+	Version int      `json:"version"`
+	Entries []*Entry `json:"entries"`
+}
+
+// Save writes the knowledge base as JSON.
+func (kb *KnowledgeBase) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(kbFile{Version: 1, Entries: kb.entries})
+}
+
+// Load reads a knowledge base written by Save, recompiling every pattern
+// and re-validating every template. The stored SPARQL is checked against
+// the recompiled form; a mismatch (hand-edited file, version skew) is
+// repaired by preferring the recompiled query.
+func Load(r io.Reader) (*KnowledgeBase, error) {
+	var f kbFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("kb: %w", err)
+	}
+	out := New()
+	for _, e := range f.Entries {
+		if e.Pattern == nil {
+			return nil, fmt.Errorf("kb: entry %q has no pattern", e.Name)
+		}
+		e.Pattern.Name = e.Name
+		e.Pattern.Description = e.Description
+		added, err := out.Add(e.Pattern, e.Recommendations...)
+		if err != nil {
+			return nil, err
+		}
+		if len(e.Profile) == NumFeatures {
+			added.Profile = e.Profile
+		}
+	}
+	return out, nil
+}

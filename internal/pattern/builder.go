@@ -1,0 +1,167 @@
+package pattern
+
+// Builder constructs patterns fluently, playing the role of the paper's
+// web-based pattern builder GUI (Figure 3). Example:
+//
+//	b := pattern.NewBuilder("nljoin-tbscan", "NLJOIN over a large table scan")
+//	top := b.Pop("NLJOIN").Alias("TOP")
+//	outer := b.Pop(pattern.TypeAny)
+//	inner := b.Pop("TBSCAN")
+//	base := b.Pop(pattern.TypeBaseObj).Alias("BASE4")
+//	top.OuterChild(outer)
+//	top.InnerChild(inner)
+//	outer.Where("hasEstimateCardinality", ">", 1)
+//	inner.Where("hasEstimateCardinality", ">", 100)
+//	inner.Child(base)
+//	p, err := b.Build()
+type Builder struct {
+	pattern Pattern
+	nextID  int
+}
+
+// NewBuilder returns a builder for a named pattern.
+func NewBuilder(name, description string) *Builder {
+	return &Builder{
+		pattern: Pattern{Name: name, Description: description},
+		nextID:  1,
+	}
+}
+
+// PopBuilder wraps one pop under construction.
+type PopBuilder struct {
+	b  *Builder
+	id int
+}
+
+// Pop adds an operator node of the given type and returns its builder.
+// IDs are assigned sequentially starting from 1.
+func (b *Builder) Pop(typ string) *PopBuilder {
+	id := b.nextID
+	b.nextID++
+	b.pattern.Pops = append(b.pattern.Pops, Pop{ID: id, Type: typ})
+	return &PopBuilder{b: b, id: id}
+}
+
+// PlanDetail adds a plan-level constraint, e.g. PlanDetail("hasTotalCost", "> 50000").
+func (b *Builder) PlanDetail(key, constraint string) *Builder {
+	if b.pattern.PlanDetails == nil {
+		b.pattern.PlanDetails = make(map[string]string)
+	}
+	b.pattern.PlanDetails[key] = constraint
+	return b
+}
+
+// Build validates and returns the pattern.
+func (b *Builder) Build() (*Pattern, error) {
+	p := b.pattern
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// MustBuild is Build for statically-known-good patterns; it panics on error.
+func (b *Builder) MustBuild() *Pattern {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ID returns the pop's pattern ID.
+func (pb *PopBuilder) ID() int { return pb.id }
+
+func (pb *PopBuilder) pop() *Pop { return pb.b.pattern.Pop(pb.id) }
+
+// Alias sets the handler tagging alias used in recommendations (@ALIAS).
+func (pb *PopBuilder) Alias(a string) *PopBuilder {
+	pb.pop().Alias = a
+	return pb
+}
+
+func (pb *PopBuilder) relate(rel, sign string, child *PopBuilder) *PopBuilder {
+	pb.pop().Properties = append(pb.pop().Properties, Property{ID: rel, Value: child.id, Sign: sign})
+	// Record the reverse hasOutputStream edge on the child for Figure 5
+	// fidelity; the compiler treats it as redundant.
+	child.pop().Properties = append(child.pop().Properties, Property{ID: RelOutput, Value: pb.id})
+	return pb
+}
+
+// OuterChild declares child as the immediate outer input of this pop.
+func (pb *PopBuilder) OuterChild(child *PopBuilder) *PopBuilder {
+	return pb.relate(RelOuterInput, SignImmediateChild, child)
+}
+
+// InnerChild declares child as the immediate inner input of this pop.
+func (pb *PopBuilder) InnerChild(child *PopBuilder) *PopBuilder {
+	return pb.relate(RelInnerInput, SignImmediateChild, child)
+}
+
+// Child declares child as an immediate input (generic stream) of this pop.
+func (pb *PopBuilder) Child(child *PopBuilder) *PopBuilder {
+	return pb.relate(RelInput, SignImmediateChild, child)
+}
+
+// OuterDescendant declares child as a descendant reached through this pop's
+// outer input (any number of further hops).
+func (pb *PopBuilder) OuterDescendant(child *PopBuilder) *PopBuilder {
+	return pb.relate(RelOuterInput, SignDescendant, child)
+}
+
+// InnerDescendant declares child as a descendant reached through this pop's
+// inner input.
+func (pb *PopBuilder) InnerDescendant(child *PopBuilder) *PopBuilder {
+	return pb.relate(RelInnerInput, SignDescendant, child)
+}
+
+// Descendant declares child as a descendant through any input stream.
+func (pb *PopBuilder) Descendant(child *PopBuilder) *PopBuilder {
+	return pb.relate(RelInput, SignDescendant, child)
+}
+
+// Where adds a value constraint on a property of this pop, e.g.
+// Where("hasEstimateCardinality", ">", 100).
+func (pb *PopBuilder) Where(property, sign string, value interface{}) *PopBuilder {
+	pb.pop().Properties = append(pb.pop().Properties, Property{ID: property, Sign: sign, Value: value})
+	return pb
+}
+
+// WherePlan adds a plan-relative constraint comparing a property of this
+// pop against a scaled plan-level property, e.g. "cumulative cost above
+// half of the plan total":
+// pop.WherePlan("hasTotalCost", ">", 0.5, "hasTotalCost").
+func (pb *PopBuilder) WherePlan(property, sign string, factor float64, planProperty string) *PopBuilder {
+	pb.pop().Properties = append(pb.pop().Properties, Property{
+		ID:     property,
+		Sign:   sign,
+		PlanOf: &PlanRef{ID: planProperty, Factor: factor},
+	})
+	return pb
+}
+
+// DistinctFrom asserts that this pop and other bind to different resources
+// in every match (two *distinct* consumers of a shared subexpression).
+func (pb *PopBuilder) DistinctFrom(other *PopBuilder) *PopBuilder {
+	pb.pop().Properties = append(pb.pop().Properties, Property{ID: RelDistinct, Value: other.id})
+	return pb
+}
+
+// WhereAbsent asserts the property does not exist on this pop, e.g. a join
+// with no join predicate: join.WhereAbsent("hasPredicateText").
+func (pb *PopBuilder) WhereAbsent(property string) *PopBuilder {
+	pb.pop().Properties = append(pb.pop().Properties, Property{ID: property, Sign: SignAbsent})
+	return pb
+}
+
+// WhereRef adds a cross-operator constraint comparing a property of this pop
+// against a property of another pop, e.g. the SORT spill pattern:
+// input.WhereRef("hasIOCost", "<", sort, "hasIOCost").
+func (pb *PopBuilder) WhereRef(property, sign string, other *PopBuilder, otherProperty string) *PopBuilder {
+	pb.pop().Properties = append(pb.pop().Properties, Property{
+		ID:      property,
+		Sign:    sign,
+		ValueOf: &PropRef{Pop: other.id, ID: otherProperty},
+	})
+	return pb
+}

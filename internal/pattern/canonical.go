@@ -1,0 +1,133 @@
+package pattern
+
+// This file defines the paper's four canonical expert patterns (Sections 2.2
+// and 2.3), used throughout the examples, tests and the experimental study:
+//
+//	Pattern A — NLJOIN with an expensive inner table scan  -> index advice
+//	Pattern B — join of two left-outer-join subtrees       -> query rewrite
+//	Pattern C — scan with a huge cardinality drop          -> statistics advice
+//	Pattern D — SORT whose input has lower I/O cost        -> sort memory advice
+
+// A returns Pattern A (paper Section 2.2, Figures 3/5/6): a LOLEPOP of type
+// NLJOIN whose outer input (ANY) has cardinality greater than one, whose
+// inner input is a TBSCAN with cardinality greater than 100, the TBSCAN
+// reading a base object. The inner table is fully rescanned for every outer
+// row.
+func A() *Pattern {
+	b := NewBuilder("nljoin-inner-tbscan",
+		"NLJOIN repeatedly scanning a large inner table; candidate for an index on the inner table")
+	top := b.Pop("NLJOIN").Alias("TOP")
+	outer := b.Pop(TypeAny)
+	inner := b.Pop("TBSCAN").Alias("SCAN3")
+	base := b.Pop(TypeBaseObj).Alias("BASE4")
+	top.OuterChild(outer)
+	top.InnerChild(inner)
+	outer.Where("hasEstimateCardinality", ">", 1)
+	inner.Where("hasEstimateCardinality", ">", 100)
+	inner.Child(base)
+	return b.MustBuild()
+}
+
+// B returns Pattern B (paper Section 2.3, Figure 7): a JOIN (any method)
+// with a descendant left-outer join below its outer input and a descendant
+// left-outer join below its inner input — the poor-join-order shape
+// (T1 LOJ T2) JOIN (T3 LOJ T4). This is the recursive pattern exercising
+// arbitrary-length property paths.
+func B() *Pattern {
+	b := NewBuilder("loj-both-sides",
+		"Join of two left-outer-join subtrees; rewrite (T1 LOJ T2) JOIN (T3 LOJ T4) as ((T1 LOJ T2) JOIN T3) LOJ T4")
+	top := b.Pop(TypeJoin).Alias("TOP")
+	left := b.Pop(TypeJoin).Alias("LOJLEFT")
+	right := b.Pop(TypeJoin).Alias("LOJRIGHT")
+	top.OuterDescendant(left)
+	top.InnerDescendant(right)
+	left.Where("hasJoinType", "=", "LEFT_OUTER")
+	right.Where("hasJoinType", "=", "LEFT_OUTER")
+	return b.MustBuild()
+}
+
+// C returns Pattern C (paper Section 2.3, Figure 8): an IXSCAN or TBSCAN
+// with estimated cardinality below 0.001 reading a base object with
+// cardinality above one million — a drastic and suspicious cardinality
+// estimate suggesting missing column group statistics.
+func C() *Pattern {
+	b := NewBuilder("scan-cardinality-collapse",
+		"Scan estimating under 0.001 rows out of a table with over 1e6 rows; collect column group statistics")
+	scan := b.Pop(TypeScan).Alias("TOP")
+	base := b.Pop(TypeBaseObj).Alias("BASE2")
+	scan.Where("hasEstimateCardinality", "<", 0.001)
+	base.Where("hasEstimateCardinality", ">", 1000000)
+	scan.Child(base)
+	return b.MustBuild()
+}
+
+// D returns Pattern D (paper Section 2.3): a SORT whose immediate input has
+// an I/O cost lower than the SORT's own I/O cost, indicating sort spill.
+func D() *Pattern {
+	b := NewBuilder("sort-spill",
+		"SORT with higher I/O cost than its input (spill indicator); increase sort memory")
+	srt := b.Pop("SORT").Alias("TOP")
+	in := b.Pop(TypeAny).Alias("INPUT2")
+	srt.Child(in)
+	in.WhereRef("hasIOCost", "<", srt, "hasIOCost")
+	return b.MustBuild()
+}
+
+// E returns Pattern E (the paper's second motivating question, Section
+// 1.1): a materialized subquery (TEMP) whose cumulative cost exceeds half
+// of the plan's total cost — "find all the subqueries that have a cost that
+// is more than 50% of the total cost of the query".
+func E() *Pattern {
+	b := NewBuilder("expensive-subquery",
+		"Materialized subquery costing more than 50% of the whole plan")
+	tmp := b.Pop("TEMP").Alias("TOP")
+	in := b.Pop(TypeAny).Alias("INPUT2")
+	tmp.Child(in)
+	tmp.WherePlan("hasTotalCost", ">", 0.5, "hasTotalCost")
+	return b.MustBuild()
+}
+
+// F returns Pattern F (the paper's Section 2.2 ambiguity example): a common
+// subexpression — a TEMP — consumed by two *distinct* operators in
+// different parts of the plan. The reified stream encoding is what makes
+// the two consumer edges distinguishable.
+func F() *Pattern {
+	b := NewBuilder("shared-temp",
+		"Common subexpression (TEMP) with multiple consumers")
+	tmp := b.Pop("TEMP").Alias("TOP")
+	c1 := b.Pop(TypeAny).Alias("CONSUMER2")
+	c2 := b.Pop(TypeAny).Alias("CONSUMER3")
+	c1.Child(tmp)
+	c2.Child(tmp)
+	c1.DistinctFrom(c2)
+	return b.MustBuild()
+}
+
+// G returns Pattern G (extension): a cartesian product — a join carrying no
+// join predicate while both inputs produce more than one row. Exercises the
+// negative (ABSENT / FILTER NOT EXISTS) constraint.
+func G() *Pattern {
+	b := NewBuilder("cartesian-join",
+		"Join with no join predicate over multi-row inputs (cartesian product)")
+	top := b.Pop(TypeJoin).Alias("TOP")
+	outer := b.Pop(TypeAny).Alias("OUTER2")
+	inner := b.Pop(TypeAny).Alias("INNER3")
+	top.OuterChild(outer)
+	top.InnerChild(inner)
+	top.WhereAbsent("hasPredicateText")
+	outer.Where("hasEstimateCardinality", ">", 1)
+	inner.Where("hasEstimateCardinality", ">", 1)
+	return b.MustBuild()
+}
+
+// Canonical returns the four paper patterns in order A, B, C, D.
+func Canonical() []*Pattern {
+	return []*Pattern{A(), B(), C(), D()}
+}
+
+// Extended returns the canonical patterns plus the motivating-scenario
+// extensions E (expensive subquery), F (shared common subexpression) and
+// G (cartesian join).
+func Extended() []*Pattern {
+	return append(Canonical(), E(), F(), G())
+}

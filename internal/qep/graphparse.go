@@ -1,0 +1,355 @@
+package qep
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ParseGraph parses the classic ASCII plan-graph rendering (the paper's
+// Figure 1, the output of Render) back into a Plan. The graph form carries
+// less information than the Plan Details section — no CPU costs, arguments,
+// predicates or column lists — so the resulting plan is structural: operator
+// types, numbers, cardinalities, cumulative and I/O costs, base objects and
+// the tree shape. Join children are assigned outer/inner streams in
+// left-to-right order, as DB2 draws them.
+//
+// The parser is geometric: it locates operator cells by their "( n)" number
+// line, attaches the surrounding cardinality/name/cost lines by column
+// proximity, finds base-object cells among the remaining name tokens, and
+// recovers edges from the /, | and \ connector characters between a parent
+// cell's bottom line and its children's top lines.
+func ParseGraph(id, text string) (*Plan, error) {
+	gp := &graphParser{}
+	if err := gp.tokenize(text); err != nil {
+		return nil, err
+	}
+	if err := gp.findOperatorCells(); err != nil {
+		return nil, err
+	}
+	gp.findObjectCells()
+	if len(gp.cells) == 0 {
+		return nil, fmt.Errorf("qep: graph contains no operator cells")
+	}
+	if err := gp.connect(); err != nil {
+		return nil, err
+	}
+	return gp.build(id)
+}
+
+// gtoken is one lexical token of the graph with its position.
+type gtoken struct {
+	row, start, end int
+	text            string
+	used            bool
+}
+
+func (t *gtoken) center() int { return (t.start + t.end) / 2 }
+
+type gcellKind uint8
+
+const (
+	opCellKind gcellKind = iota
+	objCellKind
+)
+
+// gcell is one recognized cell (operator or base object).
+type gcell struct {
+	kind    gcellKind
+	id      int    // operator number (op cells)
+	name    string // operator type with modifier prefix, or object name
+	card    float64
+	cost    float64
+	io      float64
+	topRow  int
+	botRow  int
+	col     int // center column
+	parent  *gcell
+	kids    []*gcell
+	opRef   *Operator
+	objName string
+}
+
+type graphParser struct {
+	rows   [][]*gtoken
+	byRow  map[int][]*gtoken
+	cells  []*gcell
+	conns  []*gtoken // connector tokens / | \
+	idRe   *regexp.Regexp
+	tokRe  *regexp.Regexp
+	nameRe *regexp.Regexp
+}
+
+func (gp *graphParser) tokenize(text string) error {
+	gp.idRe = regexp.MustCompile(`^\(\s*\d+\)$`)
+	gp.tokRe = regexp.MustCompile(`\(\s*\d+\)|[/|\\]|[^\s/|\\()]+`)
+	gp.nameRe = regexp.MustCompile(`^[<>^]?[A-Za-z_][A-Za-z0-9_.$#]*$`)
+	lines := strings.Split(text, "\n")
+	gp.byRow = make(map[int][]*gtoken)
+	for r, line := range lines {
+		for _, loc := range gp.tokRe.FindAllStringIndex(line, -1) {
+			tok := &gtoken{row: r, start: loc[0], end: loc[1], text: line[loc[0]:loc[1]]}
+			if tok.text == "/" || tok.text == "|" || tok.text == "\\" {
+				gp.conns = append(gp.conns, tok)
+				continue
+			}
+			gp.byRow[r] = append(gp.byRow[r], tok)
+		}
+	}
+	return nil
+}
+
+// closestToken finds the unused token on row nearest to column col, within
+// a tolerance window.
+func (gp *graphParser) closestToken(row, col, tolerance int) *gtoken {
+	var best *gtoken
+	bestDist := tolerance + 1
+	for _, t := range gp.byRow[row] {
+		if t.used {
+			continue
+		}
+		d := t.center() - col
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			bestDist = d
+			best = t
+		}
+	}
+	return best
+}
+
+func (gp *graphParser) findOperatorCells() error {
+	seen := make(map[int]bool)
+	for row, toks := range gp.byRow {
+		for _, t := range toks {
+			if !gp.idRe.MatchString(t.text) {
+				continue
+			}
+			idText := strings.Trim(t.text, "() \t")
+			opID, err := strconv.Atoi(idText)
+			if err != nil {
+				continue
+			}
+			if seen[opID] {
+				return fmt.Errorf("qep: graph repeats operator number %d", opID)
+			}
+			seen[opID] = true
+			t.used = true
+			col := t.center()
+			cell := &gcell{kind: opCellKind, id: opID, col: col, topRow: row - 2, botRow: row + 2}
+
+			nameTok := gp.closestToken(row-1, col, 12)
+			if nameTok == nil || !gp.nameRe.MatchString(nameTok.text) {
+				return fmt.Errorf("qep: operator %d has no name line above its number", opID)
+			}
+			nameTok.used = true
+			cell.name = nameTok.text
+
+			if cardTok := gp.closestToken(row-2, col, 12); cardTok != nil {
+				if f, err := strconv.ParseFloat(cardTok.text, 64); err == nil {
+					cardTok.used = true
+					cell.card = f
+				}
+			}
+			if costTok := gp.closestToken(row+1, col, 12); costTok != nil {
+				if f, err := strconv.ParseFloat(costTok.text, 64); err == nil {
+					costTok.used = true
+					cell.cost = f
+				}
+			}
+			if ioTok := gp.closestToken(row+2, col, 12); ioTok != nil {
+				if f, err := strconv.ParseFloat(ioTok.text, 64); err == nil {
+					ioTok.used = true
+					cell.io = f
+				}
+			}
+			gp.cells = append(gp.cells, cell)
+		}
+	}
+	return nil
+}
+
+// findObjectCells interprets the remaining name-like tokens as base-object
+// cells (two lines: cardinality above name).
+func (gp *graphParser) findObjectCells() {
+	for row, toks := range gp.byRow {
+		for _, t := range toks {
+			if t.used || !gp.nameRe.MatchString(t.text) {
+				continue
+			}
+			// Numeric-looking words were already filtered by nameRe; a name
+			// token here is an object label.
+			t.used = true
+			cell := &gcell{
+				kind:   objCellKind,
+				name:   t.text,
+				col:    t.center(),
+				topRow: row - 1,
+				botRow: row,
+			}
+			if cardTok := gp.closestToken(row-1, t.center(), 12); cardTok != nil {
+				if f, err := strconv.ParseFloat(cardTok.text, 64); err == nil {
+					cardTok.used = true
+					cell.card = f
+				} else {
+					cell.topRow = row
+				}
+			} else {
+				cell.topRow = row
+			}
+			gp.cells = append(gp.cells, cell)
+		}
+	}
+}
+
+// connect recovers parent/child edges from the connector characters.
+func (gp *graphParser) connect() error {
+	for _, conn := range gp.conns {
+		child := gp.cellWithTopRow(conn.row+1, conn.start)
+		if child == nil {
+			return fmt.Errorf("qep: dangling connector %q at row %d col %d", conn.text, conn.row, conn.start)
+		}
+		parent := gp.parentForConnector(conn)
+		if parent == nil {
+			return fmt.Errorf("qep: connector %q at row %d col %d has no parent cell", conn.text, conn.row, conn.start)
+		}
+		if parent == child {
+			return fmt.Errorf("qep: connector links cell to itself")
+		}
+		child.parent = parent
+		parent.kids = append(parent.kids, child)
+	}
+	// Order each parent's children left to right.
+	for _, c := range gp.cells {
+		kids := c.kids
+		for i := range kids {
+			for j := i + 1; j < len(kids); j++ {
+				if kids[j].col < kids[i].col {
+					kids[i], kids[j] = kids[j], kids[i]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (gp *graphParser) cellWithTopRow(row, col int) *gcell {
+	var best *gcell
+	bestDist := 1 << 30
+	for _, c := range gp.cells {
+		if c.topRow != row {
+			continue
+		}
+		d := c.col - col
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			bestDist = d
+			best = c
+		}
+	}
+	return best
+}
+
+// parentForConnector picks the operator cell whose bottom line sits just
+// above the connector row, respecting the connector's direction.
+func (gp *graphParser) parentForConnector(conn *gtoken) *gcell {
+	var best *gcell
+	bestDist := 1 << 30
+	for _, c := range gp.cells {
+		if c.kind != opCellKind || c.botRow != conn.row-1 {
+			continue
+		}
+		diff := c.col - conn.start
+		switch conn.text {
+		case "/":
+			if diff <= 0 {
+				continue // parent must be to the right of a '/'
+			}
+		case "\\":
+			if diff >= 0 {
+				continue // parent must be to the left of a '\'
+			}
+		}
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDist {
+			bestDist = diff
+			best = c
+		}
+	}
+	return best
+}
+
+// build assembles the Plan from the connected cells.
+func (gp *graphParser) build(id string) (*Plan, error) {
+	p := NewPlan(id)
+	for _, c := range gp.cells {
+		if c.kind != opCellKind {
+			continue
+		}
+		op := &Operator{
+			ID:          c.id,
+			TotalCost:   c.cost,
+			IOCost:      c.io,
+			Cardinality: c.card,
+			Args:        map[string]string{},
+		}
+		name := c.name
+		switch {
+		case strings.HasPrefix(name, ">"):
+			op.JoinMod = LeftOuterJoin
+			name = name[1:]
+		case strings.HasPrefix(name, "<"):
+			op.JoinMod = RightOuterJoin
+			name = name[1:]
+		case strings.HasPrefix(name, "^"):
+			op.JoinMod = EarlyOutJoin
+			name = name[1:]
+		}
+		op.Type = name
+		if err := p.AddOperator(op); err != nil {
+			return nil, err
+		}
+		c.opRef = op
+	}
+	for _, c := range gp.cells {
+		if c.kind != objCellKind {
+			continue
+		}
+		obj := p.AddObject(&BaseObject{Name: c.name, Type: "TABLE", Cardinality: c.card})
+		c.objName = obj.Name
+	}
+	// Wire edges.
+	for _, parent := range gp.cells {
+		if parent.kind != opCellKind {
+			continue
+		}
+		for i, child := range parent.kids {
+			kind := GeneralStream
+			if parent.opRef.IsJoin() || len(parent.kids) > 1 {
+				if i == 0 {
+					kind = OuterStream
+				} else {
+					kind = InnerStream
+				}
+			}
+			if child.kind == opCellKind {
+				p.Link(parent.opRef, kind, child.opRef, nil, child.card, nil)
+			} else {
+				p.Link(parent.opRef, kind, nil, p.Objects[child.objName], child.card, nil)
+			}
+		}
+	}
+	if err := p.Resolve(); err != nil {
+		return nil, err
+	}
+	p.TotalCost = p.Root.TotalCost
+	p.Source = ""
+	return p, nil
+}

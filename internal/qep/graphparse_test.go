@@ -1,0 +1,218 @@
+package qep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseGraphRoundTripFigure1 renders the Figure 1 fixture and parses
+// the ASCII graph back, checking the structural fields survive.
+func TestParseGraphRoundTripFigure1(t *testing.T) {
+	orig := figure1Plan(t)
+	text := Render(orig)
+	p, err := ParseGraph("Q2", text)
+	if err != nil {
+		t.Fatalf("ParseGraph: %v\n%s", err, text)
+	}
+	if p.NumOps() != orig.NumOps() {
+		t.Fatalf("ops = %d, want %d", p.NumOps(), orig.NumOps())
+	}
+	for id, want := range orig.Operators {
+		got := p.Operators[id]
+		if got == nil {
+			t.Fatalf("operator %d missing", id)
+		}
+		if got.Type != want.Type {
+			t.Errorf("op %d type = %q, want %q", id, got.Type, want.Type)
+		}
+		if got.Cardinality != want.Cardinality {
+			t.Errorf("op %d card = %v, want %v", id, got.Cardinality, want.Cardinality)
+		}
+		if got.TotalCost != want.TotalCost {
+			t.Errorf("op %d cost = %v, want %v", id, got.TotalCost, want.TotalCost)
+		}
+		if got.IOCost != want.IOCost {
+			t.Errorf("op %d io = %v, want %v", id, got.IOCost, want.IOCost)
+		}
+	}
+	// Tree shape: NLJOIN(2) has FETCH(3) outer and TBSCAN(5) inner.
+	nl := p.Operators[2]
+	if nl.Outer() == nil || nl.Outer().ID != 3 {
+		t.Errorf("outer = %v", nl.Outer())
+	}
+	if nl.Inner() == nil || nl.Inner().ID != 5 {
+		t.Errorf("inner = %v", nl.Inner())
+	}
+	// Base objects recovered.
+	if p.Objects["CUST_DIM"] == nil || p.Objects["SALES_FACT"] == nil {
+		t.Errorf("objects = %v", p.Objects)
+	}
+	if p.Operators[5].Object() == nil || p.Operators[5].Object().Name != "CUST_DIM" {
+		t.Errorf("TBSCAN object = %v", p.Operators[5].Object())
+	}
+	if p.Root.ID != 1 {
+		t.Errorf("root = %d", p.Root.ID)
+	}
+}
+
+// TestParseGraphJoinModifiers checks the '>' prefix round-trips.
+func TestParseGraphJoinModifiers(t *testing.T) {
+	orig := NewPlan("LOJ")
+	loj := &Operator{ID: 1, Type: "HSJOIN", JoinMod: LeftOuterJoin, TotalCost: 10, IOCost: 3, Cardinality: 5}
+	a := &Operator{ID: 2, Type: "TBSCAN", TotalCost: 4, IOCost: 1, Cardinality: 5}
+	b := &Operator{ID: 3, Type: "IXSCAN", TotalCost: 4, IOCost: 1, Cardinality: 9}
+	for _, op := range []*Operator{loj, a, b} {
+		if err := orig.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t1 := orig.AddObject(&BaseObject{Name: "T1", Cardinality: 50})
+	t2 := orig.AddObject(&BaseObject{Name: "T2", Cardinality: 90})
+	orig.Link(loj, OuterStream, a, nil, 5, nil)
+	orig.Link(loj, InnerStream, b, nil, 9, nil)
+	orig.Link(a, GeneralStream, nil, t1, 50, nil)
+	orig.Link(b, GeneralStream, nil, t2, 90, nil)
+	if err := orig.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+
+	text := Render(orig)
+	if !strings.Contains(text, ">HSJOIN") {
+		t.Fatalf("render lacks LOJ prefix:\n%s", text)
+	}
+	p, err := ParseGraph("LOJ", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Operators[1].JoinMod != LeftOuterJoin || p.Operators[1].Type != "HSJOIN" {
+		t.Errorf("parsed join = %+v", p.Operators[1])
+	}
+}
+
+// TestParseGraphRoundTripAllFixturePlans round-trips every fixture shape
+// through Render + ParseGraph.
+func TestParseGraphRoundTripFigure7Shape(t *testing.T) {
+	// Use the richer Figure 7 shape built inline (avoids an import cycle
+	// with the fixtures package, which imports qep).
+	orig := NewPlan("Q21")
+	mk := func(id int, typ string, mod JoinModifier, cost, io, card float64) *Operator {
+		op := &Operator{ID: id, Type: typ, JoinMod: mod, TotalCost: cost, IOCost: io, Cardinality: card}
+		if err := orig.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+		return op
+	}
+	ret := mk(1, "RETURN", InnerJoin, 196283, 23130, 6.7)
+	top := mk(5, "NLJOIN", InnerJoin, 196280, 23129, 6.7)
+	lojL := mk(6, "HSJOIN", LeftOuterJoin, 180100, 21000, 78417)
+	tb1 := mk(8, "TBSCAN", InnerJoin, 41000, 5000, 78417)
+	tb2 := mk(12, "TBSCAN", InnerJoin, 41000, 5000, 78417)
+	lojR := mk(15, "NLJOIN", LeftOuterJoin, 16090, 2099, 3.2e-8)
+	fetch := mk(16, "FETCH", InnerJoin, 8000, 1000, 1)
+	ix := mk(38, "IXSCAN", InnerJoin, 4000, 500, 1.311e-8)
+
+	tel := orig.AddObject(&BaseObject{Name: "TELEPHONE_DETAIL", Cardinality: 78417})
+	tran := orig.AddObject(&BaseObject{Name: "TRAN_BASE", Cardinality: 2.77e8})
+
+	orig.Link(ret, GeneralStream, top, nil, 6.7, nil)
+	orig.Link(top, OuterStream, lojL, nil, 78417, nil)
+	orig.Link(top, InnerStream, lojR, nil, 3.2e-8, nil)
+	orig.Link(lojL, OuterStream, tb1, nil, 78417, nil)
+	orig.Link(lojL, InnerStream, tb2, nil, 78417, nil)
+	orig.Link(tb1, GeneralStream, nil, tel, 78417, nil)
+	orig.Link(tb2, GeneralStream, nil, tel, 78417, nil)
+	orig.Link(lojR, OuterStream, fetch, nil, 1, nil)
+	orig.Link(lojR, InnerStream, ix, nil, 1.311e-8, nil)
+	orig.Link(fetch, GeneralStream, nil, tran, 2.77e8, nil)
+	orig.Link(ix, GeneralStream, nil, tran, 2.77e8, nil)
+	if err := orig.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+
+	text := Render(orig)
+	p, err := ParseGraph("Q21", text)
+	if err != nil {
+		t.Fatalf("ParseGraph: %v\n%s", err, text)
+	}
+	if p.NumOps() != orig.NumOps() {
+		t.Fatalf("ops = %d, want %d\n%s", p.NumOps(), orig.NumOps(), text)
+	}
+	// The two LOJ joins keep their modifiers and positions.
+	if p.Operators[6].JoinMod != LeftOuterJoin || p.Operators[15].JoinMod != LeftOuterJoin {
+		t.Error("LOJ modifiers lost")
+	}
+	if p.Operators[5].Outer() == nil || p.Operators[5].Outer().ID != 6 {
+		t.Errorf("outer of top = %v", p.Operators[5].Outer())
+	}
+	if p.Operators[5].Inner() == nil || p.Operators[5].Inner().ID != 15 {
+		t.Errorf("inner of top = %v", p.Operators[5].Inner())
+	}
+	// Exponent cardinalities survive.
+	if p.Operators[38].Cardinality != 1.311e-8 {
+		t.Errorf("ix card = %v", p.Operators[38].Cardinality)
+	}
+	// Shared TRAN_BASE is one object with two consumers.
+	if len(p.Objects) != 2 {
+		t.Errorf("objects = %v", p.Objects)
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"noCells", "just some words\nwithout numbers"},
+		{"duplicateIDs", "  5\n TBSCAN\n ( 1)\n 5\n 1\n\n  5\n TBSCAN\n ( 1)\n 5\n 1\n"},
+		{"idWithoutName", "( 3)\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseGraph("X", c.text); err == nil {
+				t.Errorf("expected error for %s", c.name)
+			}
+		})
+	}
+}
+
+// TestParseGraphHandwritten parses a hand-typed snippet in the paper's own
+// Figure 1 layout (different spacing than Render produces).
+func TestParseGraphHandwritten(t *testing.T) {
+	text := `
+                         19.12
+                        NLJOIN
+                        (   2)
+                        15771
+                        1318
+                    /           \
+                19.12          4043
+                FETCH         TBSCAN
+                (   3)        (   5)
+                19.12         15771
+                2             1316
+                  |              |
+               19.12          4043
+               SALES_FACT     CUST_DIM
+`
+	p, err := ParseGraph("HAND", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumOps() != 3 {
+		t.Fatalf("ops = %d, want 3", p.NumOps())
+	}
+	nl := p.Operators[2]
+	if nl == nil || nl.Type != "NLJOIN" {
+		t.Fatalf("NLJOIN not parsed: %+v", p.Operators)
+	}
+	if nl.Outer() == nil || nl.Outer().Type != "FETCH" {
+		t.Errorf("outer = %+v", nl.Outer())
+	}
+	if nl.Inner() == nil || nl.Inner().Type != "TBSCAN" {
+		t.Errorf("inner = %+v", nl.Inner())
+	}
+	if got := nl.Inner().Object(); got == nil || got.Name != "CUST_DIM" {
+		t.Errorf("scan object = %v", got)
+	}
+}

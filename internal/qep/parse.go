@@ -1,0 +1,377 @@
+package qep
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a plan in the OptImatch explain format (OEF). The parser is
+// tolerant of whitespace variations: all indentation is insignificant and
+// key/value pairs split on the first ':'.
+func Parse(text string) (*Plan, error) {
+	pp := &planParser{plan: NewPlan("")}
+	pp.plan.Source = text
+	if err := pp.run(text); err != nil {
+		return nil, err
+	}
+	return pp.plan, nil
+}
+
+// opHeaderRe matches operator block headers like
+//
+//  2. NLJOIN: (Nested Loop Join)
+//  7. >HSJOIN: (Hash Join)
+var opHeaderRe = regexp.MustCompile(`^(\d+)\)\s+([<>^]?)([A-Z][A-Z0-9_]*):`)
+
+// streamHeaderRe matches input stream headers like
+//
+//  1. From Operator #3
+//  2. From Object CUST_DIM
+var streamHeaderRe = regexp.MustCompile(`^\d+\)\s+From (Operator #(\d+)|Object (\S+))`)
+
+type inputSpec struct {
+	kind    StreamKind
+	opID    int    // >0 when the input is an operator
+	objName string // non-empty when the input is a base object
+	rows    float64
+	columns []string
+}
+
+type opSpec struct {
+	op     *Operator
+	inputs []inputSpec
+	line   int
+}
+
+type section uint8
+
+const (
+	secHeader section = iota
+	secStatement
+	secAccessPlan
+	secDetails
+	secObjects
+	secDone
+)
+
+type planParser struct {
+	plan    *Plan
+	specs   []*opSpec
+	cur     *opSpec    // operator block being read
+	curIn   *inputSpec // input stream being read
+	curObj  *BaseObject
+	sect    section
+	subSect string // "", "arguments", "predicates", "streams"
+	stmt    []string
+	lineNo  int
+}
+
+func (pp *planParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("qep: line %d: %s", pp.lineNo, fmt.Sprintf(format, args...))
+}
+
+func (pp *planParser) run(text string) error {
+	lines := strings.Split(text, "\n")
+	for i, raw := range lines {
+		pp.lineNo = i + 1
+		line := strings.TrimSpace(raw)
+		if err := pp.line(line); err != nil {
+			return err
+		}
+	}
+	pp.plan.Statement = strings.Join(pp.stmt, "\n")
+	return pp.link()
+}
+
+func (pp *planParser) line(line string) error {
+	// Section switches are recognized anywhere.
+	switch line {
+	case "Access Plan:":
+		pp.sect = secAccessPlan
+		return nil
+	case "Plan Details:":
+		pp.sect = secDetails
+		return nil
+	case "Base Objects:":
+		pp.sect = secObjects
+		pp.cur, pp.curIn = nil, nil
+		return nil
+	case "End of Explain":
+		pp.sect = secDone
+		return nil
+	}
+	if line == "" || strings.HasPrefix(line, "---") {
+		return nil
+	}
+
+	switch pp.sect {
+	case secHeader:
+		if v, ok := cutKey(line, "Statement ID"); ok {
+			pp.plan.ID = v
+			return nil
+		}
+		if line == "Statement:" {
+			pp.sect = secStatement
+			return nil
+		}
+		return nil // banner and unknown header lines
+	case secStatement:
+		pp.stmt = append(pp.stmt, line)
+		return nil
+	case secAccessPlan:
+		if v, ok := cutKey(line, "Total Cost"); ok {
+			f, err := parseNum(v)
+			if err != nil {
+				return pp.errf("bad Total Cost %q", v)
+			}
+			pp.plan.TotalCost = f
+		}
+		return nil
+	case secDetails:
+		return pp.detailsLine(line)
+	case secObjects:
+		return pp.objectLine(line)
+	default:
+		return nil
+	}
+}
+
+func (pp *planParser) detailsLine(line string) error {
+	if m := opHeaderRe.FindStringSubmatch(line); m != nil {
+		id, err := strconv.Atoi(m[1])
+		if err != nil || id <= 0 {
+			return pp.errf("bad operator id %q", m[1])
+		}
+		op := &Operator{
+			ID:   id,
+			Type: m[3],
+			Args: make(map[string]string),
+		}
+		switch m[2] {
+		case ">":
+			op.JoinMod = LeftOuterJoin
+		case "<":
+			op.JoinMod = RightOuterJoin
+		case "^":
+			op.JoinMod = EarlyOutJoin
+		}
+		pp.cur = &opSpec{op: op, line: pp.lineNo}
+		pp.curIn = nil
+		pp.subSect = ""
+		pp.specs = append(pp.specs, pp.cur)
+		return nil
+	}
+	if pp.cur == nil {
+		return pp.errf("content before first operator block: %q", line)
+	}
+
+	switch line {
+	case "Arguments:":
+		pp.subSect = "arguments"
+		pp.curIn = nil
+		return nil
+	case "Predicates:":
+		pp.subSect = "predicates"
+		pp.curIn = nil
+		return nil
+	case "Input Streams:":
+		pp.subSect = "streams"
+		pp.curIn = nil
+		return nil
+	}
+
+	// Join modifier descriptions appear on their own line.
+	switch line {
+	case "Left Outer Join":
+		pp.cur.op.JoinMod = LeftOuterJoin
+		return nil
+	case "Right Outer Join":
+		pp.cur.op.JoinMod = RightOuterJoin
+		return nil
+	case "Early Out Join":
+		pp.cur.op.JoinMod = EarlyOutJoin
+		return nil
+	}
+
+	if pp.subSect == "streams" {
+		if m := streamHeaderRe.FindStringSubmatch(line); m != nil {
+			in := inputSpec{}
+			if m[2] != "" {
+				id, err := strconv.Atoi(m[2])
+				if err != nil {
+					return pp.errf("bad input operator id %q", m[2])
+				}
+				in.opID = id
+			} else {
+				in.objName = m[3]
+			}
+			pp.cur.inputs = append(pp.cur.inputs, in)
+			pp.curIn = &pp.cur.inputs[len(pp.cur.inputs)-1]
+			return nil
+		}
+		if pp.curIn != nil {
+			if v, ok := cutKey(line, "Stream Type"); ok {
+				kind, err := ParseStreamKind(v)
+				if err != nil {
+					return pp.errf("%v", err)
+				}
+				pp.curIn.kind = kind
+				return nil
+			}
+			if v, ok := cutKey(line, "Estimated Rows"); ok {
+				f, err := parseNum(v)
+				if err != nil {
+					return pp.errf("bad Estimated Rows %q", v)
+				}
+				pp.curIn.rows = f
+				return nil
+			}
+			if v, ok := cutKey(line, "Columns"); ok {
+				pp.curIn.columns = parseColumns(v)
+				return nil
+			}
+		}
+		return nil
+	}
+
+	if pp.subSect == "predicates" {
+		pp.cur.op.Predicates = append(pp.cur.op.Predicates, line)
+		return nil
+	}
+	if pp.subSect == "arguments" {
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			pp.cur.op.Args[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+		return nil
+	}
+
+	// Operator properties.
+	numProps := []struct {
+		key string
+		dst *float64
+	}{
+		{"Cumulative Total Cost", &pp.cur.op.TotalCost},
+		{"Cumulative CPU Cost", &pp.cur.op.CPUCost},
+		{"Cumulative I/O Cost", &pp.cur.op.IOCost},
+		{"Cumulative First Row Cost", &pp.cur.op.FirstRow},
+		{"Estimated Bufferpool Buffers", &pp.cur.op.Buffers},
+		{"Estimated Cardinality", &pp.cur.op.Cardinality},
+	}
+	for _, prop := range numProps {
+		if v, ok := cutKey(line, prop.key); ok {
+			f, err := parseNum(v)
+			if err != nil {
+				return pp.errf("bad %s %q", prop.key, v)
+			}
+			*prop.dst = f
+			return nil
+		}
+	}
+	return nil // tolerate unknown property lines
+}
+
+func (pp *planParser) objectLine(line string) error {
+	if v, ok := cutKey(line, "Type"); ok && pp.curObj != nil {
+		pp.curObj.Type = v
+		return nil
+	}
+	if v, ok := cutKey(line, "Cardinality"); ok && pp.curObj != nil {
+		f, err := parseNum(v)
+		if err != nil {
+			return pp.errf("bad object cardinality %q", v)
+		}
+		pp.curObj.Cardinality = f
+		return nil
+	}
+	if v, ok := cutKey(line, "Columns"); ok && pp.curObj != nil {
+		pp.curObj.Columns = parseColumns(v)
+		return nil
+	}
+	// Otherwise the line names a new object.
+	name := strings.TrimSpace(line)
+	if name == "" || strings.Contains(name, ":") {
+		return nil
+	}
+	obj := &BaseObject{Name: name, Type: "TABLE"}
+	pp.curObj = pp.plan.AddObject(obj)
+	return nil
+}
+
+// link resolves the collected operator specs into the plan tree.
+func (pp *planParser) link() error {
+	if len(pp.specs) == 0 {
+		return fmt.Errorf("qep: no Plan Details section or no operators found")
+	}
+	for _, spec := range pp.specs {
+		if err := pp.plan.AddOperator(spec.op); err != nil {
+			return err
+		}
+	}
+	for _, spec := range pp.specs {
+		for _, in := range spec.inputs {
+			if in.opID > 0 {
+				child, ok := pp.plan.Operators[in.opID]
+				if !ok {
+					return fmt.Errorf("qep: operator %d references unknown input operator #%d", spec.op.ID, in.opID)
+				}
+				if in.opID == spec.op.ID {
+					return fmt.Errorf("qep: operator %d consumes itself", spec.op.ID)
+				}
+				// Multiple consumers are legal: a shared common subexpression
+				// (TEMP) makes the plan a DAG.
+				pp.plan.Link(spec.op, in.kind, child, nil, in.rows, in.columns)
+				continue
+			}
+			obj, ok := pp.plan.Objects[in.objName]
+			if !ok {
+				// Objects may be referenced before (or without) a Base
+				// Objects section; register a stub.
+				obj = pp.plan.AddObject(&BaseObject{Name: in.objName, Type: "TABLE", Cardinality: in.rows})
+			}
+			pp.plan.Link(spec.op, in.kind, nil, obj, in.rows, in.columns)
+		}
+	}
+	return pp.plan.Resolve()
+}
+
+// cutKey matches `key: value` (and `key : value`), returning the trimmed
+// value.
+func cutKey(line, key string) (string, bool) {
+	if !strings.HasPrefix(line, key) {
+		return "", false
+	}
+	rest := strings.TrimSpace(line[len(key):])
+	if !strings.HasPrefix(rest, ":") {
+		return "", false
+	}
+	return strings.TrimSpace(rest[1:]), true
+}
+
+func parseNum(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+// parseColumns accepts both the stream form "+A+B+C" and the comma form
+// "A,B,C".
+func parseColumns(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var parts []string
+	if strings.HasPrefix(s, "+") {
+		parts = strings.Split(strings.TrimPrefix(s, "+"), "+")
+	} else {
+		parts = strings.Split(s, ",")
+	}
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

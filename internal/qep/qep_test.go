@@ -1,0 +1,413 @@
+package qep
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure1Plan builds the paper's Figure 1 snippet rooted under a RETURN:
+//
+//	RETURN(1) <- NLJOIN(2) <- outer FETCH(3) <- IXSCAN(4) <- SALES_FACT(IDX1)
+//	                       <- inner TBSCAN(5) <- CUST_DIM
+func figure1Plan(t *testing.T) *Plan {
+	t.Helper()
+	p := NewPlan("Q2")
+	p.Statement = "SELECT * FROM SALES_FACT F JOIN CUST_DIM C ON F.CUST_ID = C.CUST_ID"
+	p.TotalCost = 15782.2
+
+	salesFact := p.AddObject(&BaseObject{Name: "SALES_FACT", Type: "TABLE", Cardinality: 1e7, Columns: []string{"CUST_ID", "SALE_AMT"}})
+	custDim := p.AddObject(&BaseObject{Name: "CUST_DIM", Type: "TABLE", Cardinality: 4043, Columns: []string{"CUST_ID", "CUST_NAME"}})
+
+	ret := &Operator{ID: 1, Type: "RETURN", TotalCost: 15782.2, IOCost: 1320, CPUCost: 2.9e8, Cardinality: 19.12, Args: map[string]string{}}
+	nl := &Operator{ID: 2, Type: "NLJOIN", TotalCost: 15771, IOCost: 1318, CPUCost: 2.87997e8, Cardinality: 19.12,
+		Args:       map[string]string{"FETCHMAX": "IGNORE"},
+		Predicates: []string{"(Q1.CUST_ID = Q2.CUST_ID)"}}
+	fetch := &Operator{ID: 3, Type: "FETCH", TotalCost: 19.12, IOCost: 2, CPUCost: 1.2e5, Cardinality: 19.12, Args: map[string]string{}}
+	ix := &Operator{ID: 4, Type: "IXSCAN", TotalCost: 12.3, IOCost: 1, CPUCost: 9.1e4, Cardinality: 19.12, Args: map[string]string{"INDEX": "IDX1"}}
+	tb := &Operator{ID: 5, Type: "TBSCAN", TotalCost: 15771, IOCost: 1316, CPUCost: 2.8e8, Cardinality: 4043, Args: map[string]string{}}
+
+	for _, op := range []*Operator{ret, nl, fetch, ix, tb} {
+		if err := p.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Link(ret, GeneralStream, nl, nil, 19.12, nil)
+	p.Link(nl, OuterStream, fetch, nil, 19.12, []string{"Q2.SALE_AMT", "Q2.CUST_ID"})
+	p.Link(nl, InnerStream, tb, nil, 4043, []string{"Q1.CUST_NAME", "Q1.CUST_ID"})
+	p.Link(fetch, GeneralStream, ix, nil, 19.12, nil)
+	p.Link(ix, GeneralStream, nil, salesFact, 1e7, nil)
+	p.Link(tb, GeneralStream, nil, custDim, 4043, nil)
+
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanAccessors(t *testing.T) {
+	p := figure1Plan(t)
+	if p.NumOps() != 5 {
+		t.Errorf("NumOps = %d", p.NumOps())
+	}
+	if p.Root.ID != 1 {
+		t.Errorf("root = %d", p.Root.ID)
+	}
+	nl := p.Operators[2]
+	if nl.Outer() == nil || nl.Outer().ID != 3 {
+		t.Errorf("Outer = %v", nl.Outer())
+	}
+	if nl.Inner() == nil || nl.Inner().ID != 5 {
+		t.Errorf("Inner = %v", nl.Inner())
+	}
+	if got := p.Operators[5].Object(); got == nil || got.Name != "CUST_DIM" {
+		t.Errorf("Object = %v", got)
+	}
+	if !nl.IsJoin() || p.Operators[3].IsJoin() {
+		t.Error("IsJoin wrong")
+	}
+	if nl.Class() != "JOIN" {
+		t.Errorf("Class = %q", nl.Class())
+	}
+	if p.Operators[5].Class() != "SCAN" {
+		t.Errorf("TBSCAN class = %q", p.Operators[5].Class())
+	}
+	// SelfCost of NLJOIN: 15771 - 19.12 (fetch) - 15771 (tbscan) < 0 -> clamped 0.
+	if c := nl.SelfCost(); c != 0 {
+		t.Errorf("SelfCost = %v", c)
+	}
+	// SelfCost of FETCH: 19.12 - 12.3.
+	if c := p.Operators[3].SelfCost(); math.Abs(c-6.82) > 1e-9 {
+		t.Errorf("FETCH SelfCost = %v", c)
+	}
+	ops := p.Operators[2].InputOps()
+	if len(ops) != 2 || ops[0].ID != 3 || ops[1].ID != 5 {
+		t.Errorf("InputOps = %v", ops)
+	}
+}
+
+func TestDescendantsAndWalk(t *testing.T) {
+	p := figure1Plan(t)
+	desc := Descendants(p.Operators[2])
+	var ids []int
+	for _, d := range desc {
+		ids = append(ids, d.ID)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("descendants = %v", ids)
+	}
+	var walked []int
+	p.Walk(func(op *Operator) { walked = append(walked, op.ID) })
+	if len(walked) != 5 || walked[0] != 1 {
+		t.Errorf("walk = %v", walked)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	p := figure1Plan(t)
+	text := Text(p)
+
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if p2.ID != p.ID {
+		t.Errorf("ID = %q, want %q", p2.ID, p.ID)
+	}
+	if p2.Statement != p.Statement {
+		t.Errorf("Statement = %q", p2.Statement)
+	}
+	if p2.TotalCost != p.TotalCost {
+		t.Errorf("TotalCost = %v", p2.TotalCost)
+	}
+	if p2.NumOps() != p.NumOps() {
+		t.Fatalf("NumOps = %d, want %d", p2.NumOps(), p.NumOps())
+	}
+	for id, want := range p.Operators {
+		got := p2.Operators[id]
+		if got == nil {
+			t.Fatalf("operator %d missing", id)
+		}
+		if got.Type != want.Type || got.TotalCost != want.TotalCost ||
+			got.IOCost != want.IOCost || got.CPUCost != want.CPUCost ||
+			got.Cardinality != want.Cardinality || got.JoinMod != want.JoinMod {
+			t.Errorf("operator %d mismatch:\n got %+v\nwant %+v", id, got, want)
+		}
+		if len(got.Predicates) != len(want.Predicates) {
+			t.Errorf("operator %d predicates = %v", id, got.Predicates)
+		}
+		for k, v := range want.Args {
+			if got.Args[k] != v {
+				t.Errorf("operator %d arg %s = %q, want %q", id, k, got.Args[k], v)
+			}
+		}
+	}
+	if p2.Root.ID != 1 {
+		t.Errorf("root = %d", p2.Root.ID)
+	}
+	nl := p2.Operators[2]
+	if nl.Outer() == nil || nl.Outer().ID != 3 || nl.Inner() == nil || nl.Inner().ID != 5 {
+		t.Errorf("stream kinds lost: outer=%v inner=%v", nl.Outer(), nl.Inner())
+	}
+	if cols := nl.Inputs[0].Columns; len(cols) != 2 || cols[0] != "Q2.SALE_AMT" {
+		t.Errorf("stream columns = %v", cols)
+	}
+	obj := p2.Objects["SALES_FACT"]
+	if obj == nil || obj.Cardinality != 1e7 || len(obj.Columns) != 2 {
+		t.Errorf("object = %+v", obj)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestJoinModifierRoundTrip(t *testing.T) {
+	p := NewPlan("LOJ")
+	p.Statement = "SELECT 1"
+	loj := &Operator{ID: 1, Type: "HSJOIN", JoinMod: LeftOuterJoin, TotalCost: 10, Cardinality: 5}
+	a := &Operator{ID: 2, Type: "TBSCAN", TotalCost: 4, Cardinality: 5}
+	b := &Operator{ID: 3, Type: "TBSCAN", TotalCost: 4, Cardinality: 9}
+	for _, op := range []*Operator{loj, a, b} {
+		if err := p.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t1 := p.AddObject(&BaseObject{Name: "T1", Cardinality: 5})
+	t2 := p.AddObject(&BaseObject{Name: "T2", Cardinality: 9})
+	p.Link(loj, OuterStream, a, nil, 5, nil)
+	p.Link(loj, InnerStream, b, nil, 9, nil)
+	p.Link(a, GeneralStream, nil, t1, 5, nil)
+	p.Link(b, GeneralStream, nil, t2, 9, nil)
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+
+	text := Text(p)
+	if !strings.Contains(text, ">HSJOIN") {
+		t.Errorf("serialized form missing '>' prefix:\n%s", text)
+	}
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Operators[1].JoinMod != LeftOuterJoin {
+		t.Errorf("JoinMod = %v", p2.Operators[1].JoinMod)
+	}
+	if p2.Operators[1].DisplayName() != ">HSJOIN" {
+		t.Errorf("DisplayName = %q", p2.Operators[1].DisplayName())
+	}
+}
+
+func TestParseNumberFormats(t *testing.T) {
+	// Numbers in both decimal and exponent form must parse identically.
+	text := `OPTIMATCH EXPLAIN FILE
+
+Statement ID:	QX
+Statement:
+	SELECT 1
+
+Access Plan:
+-----------
+	Total Cost:		1.0E+07
+
+Plan Details:
+-------------
+
+	1) TBSCAN: (Table Scan)
+		Cumulative Total Cost:		1.0E+07
+		Cumulative I/O Cost:		1316.5
+		Estimated Cardinality:		4.043e+03
+
+		Input Streams:
+		-------------
+			1) From Object CUST_DIM
+				Stream Type:	GENERAL
+				Estimated Rows:	1.0E+07
+
+End of Explain
+`
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := p.Operators[1]
+	if op.TotalCost != 1e7 || op.Cardinality != 4043 || op.IOCost != 1316.5 {
+		t.Errorf("parsed values: %+v", op)
+	}
+	if p.Objects["CUST_DIM"].Cardinality != 1e7 {
+		t.Errorf("object cardinality = %v", p.Objects["CUST_DIM"].Cardinality)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"noOperators", "Plan Details:\n"},
+		{"badCost", "Plan Details:\n1) TBSCAN: (x)\nCumulative Total Cost: abc\n"},
+		{"unknownInput", "Plan Details:\n1) RETURN: (x)\nInput Streams:\n-------------\n1) From Operator #9\n"},
+		{"twoRoots", "Plan Details:\n1) TBSCAN: (x)\n2) TBSCAN: (x)\n"},
+		{"doubleConsume", `Plan Details:
+1) RETURN: (x)
+Input Streams:
+-------------
+1) From Operator #3
+2) NLJOIN: (x)
+Input Streams:
+-------------
+1) From Operator #3
+3) TBSCAN: (x)
+`},
+		{"badStreamType", "Plan Details:\n1) TBSCAN: (x)\nInput Streams:\n-------------\n1) From Object T\nStream Type:\tSIDEWAYS\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.text); err == nil {
+				t.Errorf("expected error for %s", c.name)
+			}
+		})
+	}
+}
+
+func TestValidateCatchesBadJoins(t *testing.T) {
+	p := NewPlan("BAD")
+	j := &Operator{ID: 1, Type: "NLJOIN"}
+	s := &Operator{ID: 2, Type: "TBSCAN"}
+	if err := p.AddOperator(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddOperator(s); err != nil {
+		t.Fatal(err)
+	}
+	p.Link(j, GeneralStream, s, nil, 1, nil) // join with a GENERAL input only
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted join without outer/inner streams")
+	}
+}
+
+func TestAddOperatorDuplicate(t *testing.T) {
+	p := NewPlan("D")
+	if err := p.AddOperator(&Operator{ID: 1, Type: "RETURN"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddOperator(&Operator{ID: 1, Type: "SORT"}); err == nil {
+		t.Error("duplicate operator id accepted")
+	}
+}
+
+func TestRenderFigure1Shape(t *testing.T) {
+	p := figure1Plan(t)
+	out := Render(p)
+	for _, want := range []string{"NLJOIN", "( 2)", "TBSCAN", "IXSCAN", "FETCH", "CUST_DIM", "SALES_FACT", "1e+07"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered graph missing %q:\n%s", want, out)
+		}
+	}
+	// NLJOIN must appear above its children; find line indexes.
+	lines := strings.Split(out, "\n")
+	idx := func(s string) int {
+		for i, l := range lines {
+			if strings.Contains(l, s) {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(idx("NLJOIN") < idx("FETCH") && idx("FETCH") < idx("IXSCAN")) {
+		t.Errorf("vertical ordering wrong:\n%s", out)
+	}
+	// A connector row exists between NLJOIN block and the children row.
+	if !strings.ContainsAny(out, "/\\|") {
+		t.Errorf("no connectors drawn:\n%s", out)
+	}
+}
+
+func TestRenderEmptyPlan(t *testing.T) {
+	p := NewPlan("E")
+	if got := Render(p); !strings.Contains(got, "empty") {
+		t.Errorf("Render(empty) = %q", got)
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{19.12, "19.12"},
+		{15771, "15771"},
+		{0, "0"},
+		{1e7, "1e+07"},
+		{2.87997e8, "2.87997e+08"},
+		{0.0001, "0.0001"},
+		{0.00001, "1e-05"},
+		{-4043, "-4043"},
+	}
+	for _, c := range cases {
+		if got := FormatNum(c.in); got != c.want {
+			t.Errorf("FormatNum(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: FormatNum always round-trips through parseNum exactly.
+func TestFormatNumRoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		got, err := parseNum(FormatNum(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamKindParse(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want StreamKind
+	}{{"OUTER", OuterStream}, {"inner", InnerStream}, {"GENERAL", GeneralStream}, {"", GeneralStream}} {
+		got, err := ParseStreamKind(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseStreamKind(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseStreamKind("DIAGONAL"); err == nil {
+		t.Error("bad stream kind accepted")
+	}
+}
+
+func TestCutKey(t *testing.T) {
+	if v, ok := cutKey("Total Cost:\t\t42", "Total Cost"); !ok || v != "42" {
+		t.Errorf("cutKey = %q, %v", v, ok)
+	}
+	if v, ok := cutKey("Total Cost :  42", "Total Cost"); !ok || v != "42" {
+		t.Errorf("cutKey spaced = %q, %v", v, ok)
+	}
+	if _, ok := cutKey("Total Costume: 42", "Total Cost"); ok {
+		t.Error("cutKey matched wrong key")
+	}
+}
+
+func TestParseColumns(t *testing.T) {
+	if got := parseColumns("+A+B+C"); len(got) != 3 || got[1] != "B" {
+		t.Errorf("plus form = %v", got)
+	}
+	if got := parseColumns("A, B ,C"); len(got) != 3 || got[1] != "B" {
+		t.Errorf("comma form = %v", got)
+	}
+	if got := parseColumns(""); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+}

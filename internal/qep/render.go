@@ -1,0 +1,166 @@
+package qep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the plan as the classic DB2 ASCII plan graph (the paper's
+// Figure 1): each operator is a five-line cell (cardinality, name, number,
+// cumulative cost, I/O cost) and children hang below their parent connected
+// by /, | and \ characters. Base objects render as two-line leaf cells.
+//
+// Rendering is for human consumption; the machine-readable form is the OEF
+// Plan Details section written by Write.
+func Render(p *Plan) string {
+	if p.Root == nil {
+		return "(empty plan)\n"
+	}
+	b := layoutOp(p.Root)
+	var sb strings.Builder
+	for _, line := range b.lines {
+		sb.WriteString(strings.TrimRight(line, " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// block is a rectangle of text plus the column of its root cell's center.
+type block struct {
+	lines  []string
+	width  int
+	center int
+}
+
+func cellBlock(lines []string) block {
+	w := 0
+	for _, l := range lines {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		pad := (w - len(l)) / 2
+		out[i] = strings.Repeat(" ", pad) + l + strings.Repeat(" ", w-len(l)-pad)
+	}
+	return block{lines: out, width: w, center: w / 2}
+}
+
+func opCell(op *Operator) block {
+	return cellBlock([]string{
+		FormatNum(op.Cardinality),
+		op.DisplayName(),
+		fmt.Sprintf("( %d)", op.ID),
+		FormatNum(op.TotalCost),
+		FormatNum(op.IOCost),
+	})
+}
+
+func objCell(obj *BaseObject) block {
+	return cellBlock([]string{
+		FormatNum(obj.Cardinality),
+		obj.Name,
+	})
+}
+
+const hgap = 3 // columns between sibling subtrees
+
+func layoutOp(op *Operator) block {
+	cell := opCell(op)
+	if len(op.Inputs) == 0 {
+		return cell
+	}
+	children := make([]block, 0, len(op.Inputs))
+	for _, in := range op.Inputs {
+		if in.Op != nil {
+			children = append(children, layoutOp(in.Op))
+		} else {
+			children = append(children, objCell(in.Obj))
+		}
+	}
+	return stack(cell, children)
+}
+
+// stack places the children side by side, centers the parent cell above
+// them, and draws one connector row.
+func stack(parent block, children []block) block {
+	// Row of children, top-aligned.
+	height := 0
+	for _, c := range children {
+		if len(c.lines) > height {
+			height = len(c.lines)
+		}
+	}
+	rowLines := make([]string, height)
+	var centers []int
+	width := 0
+	for i, c := range children {
+		if i > 0 {
+			for j := range rowLines {
+				rowLines[j] += strings.Repeat(" ", hgap)
+			}
+			width += hgap
+		}
+		for j := 0; j < height; j++ {
+			if j < len(c.lines) {
+				rowLines[j] += c.lines[j]
+			} else {
+				rowLines[j] += strings.Repeat(" ", c.width)
+			}
+		}
+		centers = append(centers, width+c.center)
+		width += c.width
+	}
+
+	// Parent position: centered over the span of child centers.
+	mid := (centers[0] + centers[len(centers)-1]) / 2
+	parentStart := mid - parent.center
+	shift := 0
+	if parentStart < 0 {
+		shift = -parentStart
+		parentStart = 0
+	}
+	totalWidth := width + shift
+	if parentStart+parent.width > totalWidth {
+		totalWidth = parentStart + parent.width
+	}
+
+	pad := func(s string, offset int) string {
+		out := strings.Repeat(" ", offset) + s
+		if len(out) < totalWidth {
+			out += strings.Repeat(" ", totalWidth-len(out))
+		}
+		return out
+	}
+
+	var lines []string
+	for _, l := range parent.lines {
+		lines = append(lines, pad(l, parentStart))
+	}
+
+	// Connector row: one mark above each child center.
+	conn := []byte(strings.Repeat(" ", totalWidth))
+	parentMid := parentStart + parent.center
+	for _, c := range centers {
+		col := c + shift
+		var mark byte
+		switch {
+		case col < parentMid:
+			mark = '/'
+		case col > parentMid:
+			mark = '\\'
+		default:
+			mark = '|'
+		}
+		if col >= 0 && col < len(conn) {
+			conn[col] = mark
+		}
+	}
+	lines = append(lines, string(conn))
+
+	for _, l := range rowLines {
+		lines = append(lines, pad(l, shift))
+	}
+	return block{lines: lines, width: totalWidth, center: parentMid}
+}

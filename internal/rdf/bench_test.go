@@ -1,0 +1,49 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+)
+
+func buildBenchGraph(n int) *Graph {
+	g := NewGraph()
+	typePred := IRI("urn:hasPopType")
+	costPred := IRI("urn:hasTotalCost")
+	childPred := IRI("urn:hasChildPop")
+	types := []Term{String("TBSCAN"), String("NLJOIN"), String("SORT"), String("FETCH")}
+	for i := 0; i < n; i++ {
+		node := IRI(fmt.Sprintf("urn:pop/%d", i))
+		g.Add(node, typePred, types[i%len(types)])
+		g.Add(node, costPred, Float(float64(i)*1.7))
+		if i > 0 {
+			g.Add(IRI(fmt.Sprintf("urn:pop/%d", i/2)), childPred, node)
+		}
+	}
+	return g
+}
+
+// BenchmarkGraphAdd measures dictionary-encoded triple insertion.
+func BenchmarkGraphAdd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buildBenchGraph(500)
+	}
+}
+
+// BenchmarkGraphMatchBoundPO measures the hot index lookup the matcher
+// issues constantly: predicate and object bound, subject free.
+func BenchmarkGraphMatchBoundPO(b *testing.B) {
+	g := buildBenchGraph(2000)
+	d := g.Dict()
+	pid := d.Lookup(IRI("urn:hasPopType"))
+	oid := d.Lookup(String("NLJOIN"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		g.Match(NoID, pid, oid, func(_, _, _ ID) bool { count++; return true })
+		if count == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}

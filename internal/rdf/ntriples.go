@@ -1,0 +1,177 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteNTriples serializes the graph in N-Triples form, one statement per
+// line, sorted lexicographically so output is deterministic. This is the
+// "generated RDF in textual representation" of the paper's Figure 2.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	lines := make([]string, 0, g.Len())
+	for _, t := range g.Triples() {
+		lines = append(lines, t.String())
+	}
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, line := range lines {
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseNTriples reads N-Triples statements from r into a fresh graph.
+// Comments (# ...) and blank lines are skipped. The subset accepted is
+// exactly what WriteNTriples emits plus language-free literals.
+func ParseNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+		}
+		g.AddTriple(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ntriples: %w", err)
+	}
+	return g, nil
+}
+
+func parseNTripleLine(line string) (Triple, error) {
+	p := ntParser{input: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.input) || p.input[p.pos] != '.' {
+		return Triple{}, fmt.Errorf("missing terminating '.'")
+	}
+	return Triple{S: s, P: pred, O: o}, nil
+}
+
+type ntParser struct {
+	input string
+	pos   int
+}
+
+func (p *ntParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return Term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.input[p.pos] {
+	case '<':
+		end := strings.IndexByte(p.input[p.pos:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated IRI")
+		}
+		iri := p.input[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		return IRI(iri), nil
+	case '_':
+		if p.pos+1 >= len(p.input) || p.input[p.pos+1] != ':' {
+			return Term{}, fmt.Errorf("malformed blank node")
+		}
+		start := p.pos + 2
+		end := start
+		for end < len(p.input) && !isNTSpace(p.input[end]) {
+			end++
+		}
+		label := p.input[start:end]
+		if label == "" {
+			return Term{}, fmt.Errorf("empty blank node label")
+		}
+		p.pos = end
+		return Blank(label), nil
+	case '"':
+		lex, next, err := unquoteLiteral(p.input, p.pos)
+		if err != nil {
+			return Term{}, err
+		}
+		p.pos = next
+		datatype := ""
+		if strings.HasPrefix(p.input[p.pos:], "^^<") {
+			p.pos += 3
+			end := strings.IndexByte(p.input[p.pos:], '>')
+			if end < 0 {
+				return Term{}, fmt.Errorf("unterminated datatype IRI")
+			}
+			datatype = p.input[p.pos : p.pos+end]
+			p.pos += end + 1
+		}
+		return TypedLiteral(lex, datatype), nil
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.input[p.pos])
+	}
+}
+
+func isNTSpace(b byte) bool { return b == ' ' || b == '\t' }
+
+func unquoteLiteral(s string, start int) (lex string, next int, err error) {
+	var b strings.Builder
+	i := start + 1 // skip opening quote
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+			i++
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated literal")
+}

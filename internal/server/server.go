@@ -1,0 +1,301 @@
+// Package server exposes the OptImatch engine over HTTP, mirroring the
+// paper's client/server architecture (Figure 4: a web-based GUI in front of
+// the transformation engine; Section 3.2.1 explicitly discusses
+// client-server communication). The API is JSON-first:
+//
+//	GET  /healthz                  liveness
+//	GET  /api/plans                loaded plans (id, operators, total cost)
+//	POST /api/plans                upload an explain file (text/plain body)
+//	GET  /api/plans/{id}/render    the ASCII plan graph
+//	GET  /api/plans/{id}/rdf       the plan's RDF as N-Triples
+//	POST /api/search               match a pattern (JSON body, Figure 5 form)
+//	POST /api/sparql               run a raw SPARQL query (text body)
+//	GET  /api/kb                   knowledge-base entries
+//	POST /api/kb/entries           add an entry {pattern, recommendations}
+//	POST /api/kb/run               scan all plans, ranked recommendations
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"optimatch/internal/core"
+	"optimatch/internal/kb"
+	"optimatch/internal/pattern"
+	"optimatch/internal/qep"
+	"optimatch/internal/rdf"
+	"optimatch/internal/transform"
+)
+
+// maxBodyBytes bounds uploaded explain files and queries.
+const maxBodyBytes = 16 << 20
+
+// Server wires an engine and a knowledge base behind an http.Handler.
+type Server struct {
+	eng *core.Engine
+
+	mu sync.Mutex // guards kb mutation
+	kb *kb.KnowledgeBase
+}
+
+// New returns a server over the given engine and knowledge base. A nil
+// knowledge base starts with the canonical expert patterns.
+func New(eng *core.Engine, base *kb.KnowledgeBase) *Server {
+	if base == nil {
+		base = kb.MustCanonical()
+	}
+	return &Server{eng: eng, kb: base}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/plans", s.handleListPlans)
+	mux.HandleFunc("POST /api/plans", s.handleUploadPlan)
+	mux.HandleFunc("GET /api/plans/{id}/render", s.handleRenderPlan)
+	mux.HandleFunc("GET /api/plans/{id}/rdf", s.handlePlanRDF)
+	mux.HandleFunc("POST /api/search", s.handleSearch)
+	mux.HandleFunc("POST /api/sparql", s.handleSPARQL)
+	mux.HandleFunc("GET /api/kb", s.handleListKB)
+	mux.HandleFunc("POST /api/kb/entries", s.handleAddEntry)
+	mux.HandleFunc("POST /api/kb/run", s.handleRunKB)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // network write errors are the client's problem
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func readBody(r *http.Request) (string, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return "", fmt.Errorf("reading request body: %w", err)
+	}
+	return string(data), nil
+}
+
+// planInfo is the list representation of a loaded plan.
+type planInfo struct {
+	ID        string  `json:"id"`
+	Operators int     `json:"operators"`
+	TotalCost float64 `json:"totalCost"`
+	Statement string  `json:"statement,omitempty"`
+}
+
+func (s *Server) handleListPlans(w http.ResponseWriter, _ *http.Request) {
+	plans := s.eng.Plans()
+	out := make([]planInfo, 0, len(plans))
+	for _, p := range plans {
+		out = append(out, planInfo{ID: p.ID, Operators: p.NumOps(), TotalCost: p.TotalCost, Statement: p.Statement})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleUploadPlan(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.eng.LoadText(body)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, planInfo{ID: p.ID, Operators: p.NumOps(), TotalCost: p.TotalCost})
+}
+
+func (s *Server) plan(w http.ResponseWriter, r *http.Request) *qep.Plan {
+	id := r.PathValue("id")
+	p := s.eng.Plan(id)
+	if p == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("plan %q not loaded", id))
+	}
+	return p
+}
+
+func (s *Server) handleRenderPlan(w http.ResponseWriter, r *http.Request) {
+	p := s.plan(w, r)
+	if p == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, qep.Render(p))
+}
+
+func (s *Server) handlePlanRDF(w http.ResponseWriter, r *http.Request) {
+	p := s.plan(w, r)
+	if p == nil {
+		return
+	}
+	res := transform.Transform(p)
+	w.Header().Set("Content-Type", "application/n-triples")
+	_ = rdf.WriteNTriples(w, res.Graph)
+}
+
+// matchBody is the wire form of one match.
+type matchBody struct {
+	Plan     string            `json:"plan"`
+	Bindings map[string]string `json:"bindings"` // alias -> display name
+}
+
+func matchesToWire(ms []core.Match) []matchBody {
+	out := make([]matchBody, 0, len(ms))
+	for _, m := range ms {
+		mb := matchBody{Plan: m.Plan.ID, Bindings: make(map[string]string, len(m.Bindings))}
+		for _, b := range m.Bindings {
+			mb.Bindings[b.Alias] = b.Display
+		}
+		out = append(out, mb)
+	}
+	return out
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := pattern.FromJSON([]byte(body))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	matches, err := s.eng.FindPattern(p)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"pattern": p.Name,
+		"matches": matchesToWire(matches),
+	})
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	query, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(query) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query"))
+		return
+	}
+	matches, err := s.eng.FindSPARQL(query)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"matches": matchesToWire(matches)})
+}
+
+// entryInfo is the list representation of a knowledge-base entry.
+type entryInfo struct {
+	Name            string `json:"name"`
+	Description     string `json:"description,omitempty"`
+	Recommendations int    `json:"recommendations"`
+}
+
+func (s *Server) handleListKB(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]entryInfo, 0, s.kb.Len())
+	for _, e := range s.kb.Entries() {
+		out = append(out, entryInfo{Name: e.Name, Description: e.Description, Recommendations: len(e.Recommendations)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// addEntryRequest is the POST /api/kb/entries body.
+type addEntryRequest struct {
+	Pattern         *pattern.Pattern    `json:"pattern"`
+	Recommendations []kb.Recommendation `json:"recommendations"`
+}
+
+func (s *Server) handleAddEntry(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req addEntryRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding entry: %w", err))
+		return
+	}
+	if req.Pattern == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("entry needs a pattern"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, err := s.kb.Add(req.Pattern, req.Recommendations...)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, entryInfo{Name: entry.Name, Description: entry.Description, Recommendations: len(entry.Recommendations)})
+}
+
+// recBody is the wire form of one ranked recommendation.
+type recBody struct {
+	Entry      string  `json:"entry"`
+	Title      string  `json:"title"`
+	Category   string  `json:"category,omitempty"`
+	Confidence float64 `json:"confidence"`
+	Text       string  `json:"text"`
+}
+
+// reportBody is the wire form of one plan report.
+type reportBody struct {
+	Plan            string    `json:"plan"`
+	Message         string    `json:"message"`
+	Recommendations []recBody `json:"recommendations,omitempty"`
+}
+
+func (s *Server) handleRunKB(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	base := s.kb
+	s.mu.Unlock()
+	reports, err := s.eng.RunKB(base)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]reportBody, 0, len(reports))
+	for i := range reports {
+		rb := reportBody{Plan: reports[i].Plan.ID, Message: reports[i].Message()}
+		for _, rec := range reports[i].Recommendations {
+			rb.Recommendations = append(rb.Recommendations, recBody{
+				Entry:      rec.Entry.Name,
+				Title:      rec.Recommendation.Title,
+				Category:   rec.Recommendation.Category,
+				Confidence: rec.Confidence,
+				Text:       rec.Text,
+			})
+		}
+		out = append(out, rb)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"optimatch/internal/core"
+	"optimatch/internal/fixtures"
+	"optimatch/internal/kb"
+	"optimatch/internal/pattern"
+	"optimatch/internal/qep"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	eng := core.New()
+	if err := eng.LoadPlans(fixtures.All()); err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, into interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+}
+
+func postBody(t *testing.T, url, body string, wantStatus int, into interface{}) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+}
+
+func TestHealthAndPlanList(t *testing.T) {
+	_, ts := testServer(t)
+	var health map[string]string
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Errorf("health = %v", health)
+	}
+	var plans []planInfo
+	getJSON(t, ts.URL+"/api/plans", http.StatusOK, &plans)
+	if len(plans) != 5 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	found := false
+	for _, p := range plans {
+		if p.ID == "Q2" && p.Operators == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Q2 missing from %v", plans)
+	}
+}
+
+func TestUploadRenderAndRDF(t *testing.T) {
+	_, ts := testServer(t)
+	extra := fixtures.SharedTemp()
+	var info planInfo
+	postBody(t, ts.URL+"/api/plans", qep.Text(extra), http.StatusCreated, &info)
+	if info.ID != "QCSE" || info.Operators != 8 {
+		t.Errorf("uploaded = %+v", info)
+	}
+	// Duplicate upload rejected.
+	postBody(t, ts.URL+"/api/plans", qep.Text(extra), http.StatusUnprocessableEntity, nil)
+	// Garbage rejected.
+	postBody(t, ts.URL+"/api/plans", "not a plan", http.StatusUnprocessableEntity, nil)
+
+	// Render.
+	resp, err := http.Get(ts.URL + "/api/plans/QCSE/render")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "TEMP") {
+		t.Errorf("render output missing TEMP")
+	}
+	// RDF.
+	resp2, err := http.Get(ts.URL + "/api/plans/QCSE/rdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	n, _ = resp2.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hasPopType") {
+		t.Errorf("rdf output missing predicates")
+	}
+	// Unknown plan -> 404.
+	getJSON(t, ts.URL+"/api/plans/GHOST/render", http.StatusNotFound, nil)
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	data, err := pattern.A().ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Pattern string      `json:"pattern"`
+		Matches []matchBody `json:"matches"`
+	}
+	postBody(t, ts.URL+"/api/search", string(data), http.StatusOK, &out)
+	if len(out.Matches) != 1 || out.Matches[0].Plan != "Q2" {
+		t.Fatalf("matches = %+v", out.Matches)
+	}
+	if out.Matches[0].Bindings["BASE4"] != "CUST_DIM" {
+		t.Errorf("bindings = %v", out.Matches[0].Bindings)
+	}
+	// Malformed pattern -> 422.
+	postBody(t, ts.URL+"/api/search", `{"pops":[]}`, http.StatusUnprocessableEntity, nil)
+}
+
+func TestSPARQLEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	query := `PREFIX preduri: <http://optimatch/pred/>
+SELECT ?s WHERE { ?s preduri:hasPopType "SORT" }`
+	var out struct {
+		Matches []matchBody `json:"matches"`
+	}
+	postBody(t, ts.URL+"/api/sparql", query, http.StatusOK, &out)
+	if len(out.Matches) != 1 || out.Matches[0].Plan != "Q9" {
+		t.Errorf("matches = %+v", out.Matches)
+	}
+	postBody(t, ts.URL+"/api/sparql", "", http.StatusBadRequest, nil)
+	postBody(t, ts.URL+"/api/sparql", "nonsense", http.StatusUnprocessableEntity, nil)
+}
+
+func TestKBEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	var entries []entryInfo
+	getJSON(t, ts.URL+"/api/kb", http.StatusOK, &entries)
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+
+	// Add an entry over the wire.
+	req := addEntryRequest{
+		Pattern: pattern.F(),
+		Recommendations: []kb.Recommendation{{
+			Title: "review CSE", Template: "check @TOP shared by @CONSUMER2 and @CONSUMER3",
+		}},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postBody(t, ts.URL+"/api/kb/entries", string(body), http.StatusCreated, nil)
+	getJSON(t, ts.URL+"/api/kb", http.StatusOK, &entries)
+	if len(entries) != 5 {
+		t.Fatalf("entries after add = %d", len(entries))
+	}
+	// Duplicate name rejected.
+	postBody(t, ts.URL+"/api/kb/entries", string(body), http.StatusUnprocessableEntity, nil)
+	// Entry without pattern rejected.
+	postBody(t, ts.URL+"/api/kb/entries", `{"recommendations":[]}`, http.StatusBadRequest, nil)
+
+	// Run the KB.
+	var reports []reportBody
+	postBody(t, ts.URL+"/api/kb/run", "", http.StatusOK, &reports)
+	if len(reports) != 5 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	var q2 *reportBody
+	for i := range reports {
+		if reports[i].Plan == "Q2" {
+			q2 = &reports[i]
+		}
+	}
+	if q2 == nil || len(q2.Recommendations) == 0 {
+		t.Fatalf("Q2 report = %+v", q2)
+	}
+	if !strings.Contains(q2.Recommendations[0].Text, "CUST_DIM") {
+		t.Errorf("recommendation lacks context: %s", q2.Recommendations[0].Text)
+	}
+}
+
+func TestNilKBDefaultsToCanonical(t *testing.T) {
+	s := New(core.New(), nil)
+	if s.kb.Len() != 4 {
+		t.Errorf("default kb entries = %d", s.kb.Len())
+	}
+}

@@ -1,0 +1,74 @@
+package sparql
+
+import (
+	"testing"
+
+	"optimatch/internal/rdf"
+)
+
+const benchQuery = predPrefix + `
+SELECT ?pop1 AS ?TOP ?pop3 AS ?SCAN3
+WHERE {
+  ?pop1 pred:hasPopType "NLJOIN" .
+  ?pop1 pred:hasInnerInputStream ?b1 .
+  ?b1 pred:hasInnerInputStream ?pop3 .
+  ?pop3 pred:hasOutputStream ?b1 .
+  ?b1 pred:hasOutputStream ?pop1 .
+  ?pop3 pred:hasPopType "TBSCAN" .
+  ?pop3 pred:hasEstimateCardinality ?h1 .
+  FILTER(?h1 > 100) .
+}
+ORDER BY ?pop1`
+
+// BenchmarkParseQuery measures parsing the Figure-6-shaped query.
+func BenchmarkParseQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecReifiedPattern measures evaluating the reified-stream BGP
+// against the Figure 1 graph.
+func BenchmarkExecReifiedPattern(b *testing.B) {
+	g := evalTestGraph()
+	q, err := Parse(benchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.Exec(g)
+		if err != nil || res.Len() != 1 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkPathClosure measures the BFS closure over a deep chain.
+func BenchmarkPathClosure(b *testing.B) {
+	g := rdf.NewGraph()
+	pred := rdf.IRI("urn:child")
+	const depth = 300
+	for i := 0; i < depth; i++ {
+		g.Add(rdf.IRI(node(i)), pred, rdf.IRI(node(i+1)))
+	}
+	path := ModPath{Inner: PredPath{IRI: "urn:child"}, Mod: ModOneOrMore}
+	start := g.Dict().Lookup(rdf.IRI(node(0)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		evalPath(g, path, start, rdf.NoID, func(_, _ rdf.ID) bool { count++; return true })
+		if count != depth {
+			b.Fatalf("count = %d", count)
+		}
+	}
+}
+
+func node(i int) string {
+	return "urn:n" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i/260))
+}

@@ -1,0 +1,757 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"optimatch/internal/rdf"
+)
+
+// ExecOptions tunes query evaluation. The zero value is the default
+// configuration.
+type ExecOptions struct {
+	// DisableReorder turns off the selectivity-based join-order heuristic
+	// for basic graph patterns; patterns evaluate in textual order. Used by
+	// the ablation benchmarks.
+	DisableReorder bool
+}
+
+// Results is a solution table: one row per solution, one column per
+// projected variable. A zero rdf.Term in a cell means the variable is
+// unbound in that solution (possible under OPTIONAL).
+type Results struct {
+	Vars []string
+	Rows [][]rdf.Term
+}
+
+// Len reports the number of solutions.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Column returns the index of the named result column, or -1.
+func (r *Results) Column(name string) int {
+	for i, v := range r.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the binding of column name in row i (zero Term when unbound or
+// the column does not exist).
+func (r *Results) Get(i int, name string) rdf.Term {
+	c := r.Column(name)
+	if c < 0 || i < 0 || i >= len(r.Rows) {
+		return rdf.Term{}
+	}
+	return r.Rows[i][c]
+}
+
+// Exec evaluates the query against g with default options.
+func (q *Query) Exec(g *rdf.Graph) (*Results, error) {
+	return q.ExecOpts(g, ExecOptions{})
+}
+
+// ExecOpts evaluates the query against g.
+func (q *Query) ExecOpts(g *rdf.Graph, opts ExecOptions) (*Results, error) {
+	ctx := newEvalCtx(g, q, opts)
+	seed := []solution{ctx.emptySolution()}
+	sols, err := ctx.evalGroup(q.Where, seed)
+	if err != nil {
+		return nil, err
+	}
+	if q.usesAggregation() {
+		if q.Star {
+			return nil, fmt.Errorf("sparql: SELECT * cannot be combined with aggregation")
+		}
+		return ctx.evalGrouped(q, sols)
+	}
+	return ctx.project(q, sols)
+}
+
+// solution is a variable assignment, indexed by the context's variable
+// slots. A zero Term means unbound.
+type solution []rdf.Term
+
+type evalCtx struct {
+	g        *rdf.Graph
+	opts     ExecOptions
+	varIndex map[string]int
+	varNames []string
+}
+
+func newEvalCtx(g *rdf.Graph, q *Query, opts ExecOptions) *evalCtx {
+	ctx := &evalCtx{g: g, opts: opts, varIndex: make(map[string]int)}
+	for _, v := range q.Where.Vars() {
+		ctx.slot(v)
+	}
+	for _, item := range q.Select {
+		for _, v := range exprVars(item.Expr) {
+			ctx.slot(v)
+		}
+	}
+	for _, key := range q.OrderBy {
+		for _, v := range exprVars(key.Expr) {
+			ctx.slot(v)
+		}
+	}
+	for _, v := range q.GroupBy {
+		ctx.slot(v)
+	}
+	if q.Having != nil {
+		for _, v := range exprVars(q.Having) {
+			ctx.slot(v)
+		}
+	}
+	return ctx
+}
+
+func (ctx *evalCtx) slot(v string) int {
+	if i, ok := ctx.varIndex[v]; ok {
+		return i
+	}
+	i := len(ctx.varNames)
+	ctx.varIndex[v] = i
+	ctx.varNames = append(ctx.varNames, v)
+	return i
+}
+
+func (ctx *evalCtx) emptySolution() solution {
+	return make(solution, len(ctx.varNames))
+}
+
+// solView adapts a solution to the expression evaluator's bindingView.
+type solView struct {
+	ctx *evalCtx
+	sol solution
+}
+
+func (v solView) lookupVar(name string) (rdf.Term, bool) {
+	i, ok := v.ctx.varIndex[name]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	t := v.sol[i]
+	if t.Zero() {
+		return rdf.Term{}, false
+	}
+	return t, true
+}
+
+// boundSet tracks statically-bound variables during group evaluation.
+type boundSet map[string]bool
+
+func (b boundSet) clone() boundSet {
+	c := make(boundSet, len(b))
+	for k := range b {
+		c[k] = true
+	}
+	return c
+}
+
+func (b boundSet) hasAll(vars []string) bool {
+	for _, v := range vars {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// pendingFilter is a group-level filter awaiting application.
+type pendingFilter struct {
+	expr    Expression
+	vars    []string
+	eager   bool // safe to apply as soon as vars are statically bound
+	applied bool
+}
+
+// evalGroup evaluates a group pattern seeded with the given solutions.
+func (ctx *evalCtx) evalGroup(g *GroupPattern, seed []solution) ([]solution, error) {
+	if len(seed) == 0 {
+		return nil, nil
+	}
+	// Variables bound in every seed solution are statically available.
+	bound := make(boundSet)
+	for name, idx := range ctx.varIndex {
+		all := true
+		for _, s := range seed {
+			if s[idx].Zero() {
+				all = false
+				break
+			}
+		}
+		if all {
+			bound[name] = true
+		}
+	}
+
+	// Collect top-level filters; everything else evaluates in order with
+	// consecutive triple patterns grouped into reorderable BGP blocks.
+	var filters []*pendingFilter
+	for _, el := range g.Elems {
+		if f, ok := el.(FilterElem); ok {
+			filters = append(filters, &pendingFilter{
+				expr:  f.Expr,
+				vars:  exprVars(f.Expr),
+				eager: filterIsEager(f.Expr),
+			})
+		}
+	}
+
+	sols := seed
+	var err error
+	i := 0
+	for i < len(g.Elems) {
+		switch el := g.Elems[i].(type) {
+		case FilterElem:
+			i++ // collected above
+		case TriplePattern:
+			// Gather the maximal run of triple patterns (skipping filters,
+			// which are group-scoped anyway).
+			var block []TriplePattern
+			for i < len(g.Elems) {
+				if tp, ok := g.Elems[i].(TriplePattern); ok {
+					block = append(block, tp)
+					i++
+					continue
+				}
+				if _, ok := g.Elems[i].(FilterElem); ok {
+					i++
+					continue
+				}
+				break
+			}
+			sols, err = ctx.evalBGP(block, sols, bound, filters)
+			if err != nil {
+				return nil, err
+			}
+		case OptionalElem:
+			i++
+			sols, err = ctx.evalOptional(el, sols)
+			if err != nil {
+				return nil, err
+			}
+		case UnionElem:
+			i++
+			sols, err = ctx.evalUnion(el, sols)
+			if err != nil {
+				return nil, err
+			}
+			// Vars bound in every branch become statically bound.
+			branchBound := ctx.groupBoundVars(el.Branches[0])
+			for _, b := range el.Branches[1:] {
+				next := ctx.groupBoundVars(b)
+				for v := range branchBound {
+					if !next[v] {
+						delete(branchBound, v)
+					}
+				}
+			}
+			for v := range branchBound {
+				bound[v] = true
+			}
+			sols, err = ctx.applyReadyFilters(filters, bound, sols)
+			if err != nil {
+				return nil, err
+			}
+		case GroupElem:
+			i++
+			sols, err = ctx.evalGroup(el.Group, sols)
+			if err != nil {
+				return nil, err
+			}
+			for v := range ctx.groupBoundVars(el.Group) {
+				bound[v] = true
+			}
+			sols, err = ctx.applyReadyFilters(filters, bound, sols)
+			if err != nil {
+				return nil, err
+			}
+		case FilterExistsElem:
+			i++
+			out := sols[:0]
+			for _, s := range sols {
+				res, eerr := ctx.evalGroup(el.Group, []solution{append(solution(nil), s...)})
+				if eerr != nil {
+					return nil, eerr
+				}
+				if (len(res) > 0) != el.Not {
+					out = append(out, s)
+				}
+			}
+			sols = out
+		case BindElem:
+			i++
+			slot := ctx.slot(el.Var)
+			out := sols[:0]
+			for _, s := range sols {
+				v, verr := el.Expr.Eval(solView{ctx, s})
+				ns := append(solution(nil), s...)
+				if verr == nil {
+					if len(ns) <= slot {
+						grown := make(solution, len(ctx.varNames))
+						copy(grown, ns)
+						ns = grown
+					}
+					ns[slot] = v
+				}
+				out = append(out, ns)
+			}
+			sols = out
+			bound[el.Var] = true
+			sols, err = ctx.applyReadyFilters(filters, bound, sols)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sparql: unknown pattern element %T", el)
+		}
+	}
+
+	// Apply any filters not yet applied; unbound variables make the filter
+	// false (SPARQL error-as-false), dropping the solution.
+	for _, f := range filters {
+		if f.applied {
+			continue
+		}
+		sols = ctx.filterSolutions(f.expr, sols)
+		f.applied = true
+	}
+	return sols, nil
+}
+
+// filterIsEager reports whether the filter may be applied as soon as its
+// variables are statically bound. Filters that inspect boundness must wait
+// for the end of the group.
+func filterIsEager(e Expression) bool {
+	eager := true
+	var walk func(Expression)
+	walk = func(e Expression) {
+		switch e := e.(type) {
+		case CallExpr:
+			if e.Name == "BOUND" || e.Name == "COALESCE" {
+				eager = false
+			}
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case NotExpr:
+			walk(e.Inner)
+		case NegExpr:
+			walk(e.Inner)
+		case AndExpr:
+			walk(e.L)
+			walk(e.R)
+		case OrExpr:
+			walk(e.L)
+			walk(e.R)
+		case CmpExpr:
+			walk(e.L)
+			walk(e.R)
+		case ArithExpr:
+			walk(e.L)
+			walk(e.R)
+		}
+	}
+	walk(e)
+	return eager
+}
+
+func (ctx *evalCtx) applyReadyFilters(filters []*pendingFilter, bound boundSet, sols []solution) ([]solution, error) {
+	for _, f := range filters {
+		if f.applied || !f.eager || !bound.hasAll(f.vars) {
+			continue
+		}
+		sols = ctx.filterSolutions(f.expr, sols)
+		f.applied = true
+	}
+	return sols, nil
+}
+
+func (ctx *evalCtx) filterSolutions(expr Expression, sols []solution) []solution {
+	out := sols[:0]
+	for _, s := range sols {
+		ok, err := ebv(expr, solView{ctx, s})
+		if err == nil && ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// groupBoundVars computes the variables a group binds in every solution it
+// produces (conservatively: triple patterns and BINDs; OPTIONAL binds
+// nothing; UNION binds the intersection of its branches).
+func (ctx *evalCtx) groupBoundVars(g *GroupPattern) boundSet {
+	out := make(boundSet)
+	for _, el := range g.Elems {
+		switch el := el.(type) {
+		case TriplePattern:
+			if el.S.IsVar() {
+				out[el.S.Var] = true
+			}
+			if el.O.IsVar() {
+				out[el.O.Var] = true
+			}
+			if pv, ok := el.P.(predVarPath); ok {
+				out[pv.name] = true
+			}
+		case BindElem:
+			out[el.Var] = true
+		case GroupElem:
+			for v := range ctx.groupBoundVars(el.Group) {
+				out[v] = true
+			}
+		case UnionElem:
+			common := ctx.groupBoundVars(el.Branches[0])
+			for _, b := range el.Branches[1:] {
+				next := ctx.groupBoundVars(b)
+				for v := range common {
+					if !next[v] {
+						delete(common, v)
+					}
+				}
+			}
+			for v := range common {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+func (ctx *evalCtx) evalOptional(el OptionalElem, sols []solution) ([]solution, error) {
+	var out []solution
+	for _, s := range sols {
+		res, err := ctx.evalGroup(el.Group, []solution{append(solution(nil), s...)})
+		if err != nil {
+			return nil, err
+		}
+		if len(res) > 0 {
+			out = append(out, res...)
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func (ctx *evalCtx) evalUnion(el UnionElem, sols []solution) ([]solution, error) {
+	var out []solution
+	for _, s := range sols {
+		for _, branch := range el.Branches {
+			res, err := ctx.evalGroup(branch, []solution{append(solution(nil), s...)})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res...)
+		}
+	}
+	return out, nil
+}
+
+// evalBGP evaluates a block of triple patterns, reordering them greedily by
+// estimated selectivity (unless disabled) and applying eager filters as soon
+// as their variables become bound.
+func (ctx *evalCtx) evalBGP(block []TriplePattern, sols []solution, bound boundSet, filters []*pendingFilter) ([]solution, error) {
+	remaining := make([]TriplePattern, len(block))
+	copy(remaining, block)
+
+	for len(remaining) > 0 {
+		idx := 0
+		if !ctx.opts.DisableReorder {
+			best := ctx.patternCost(remaining[0], bound)
+			for i := 1; i < len(remaining); i++ {
+				if c := ctx.patternCost(remaining[i], bound); c < best {
+					best = c
+					idx = i
+				}
+			}
+		}
+		tp := remaining[idx]
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+
+		var err error
+		sols, err = ctx.extendTriple(tp, sols)
+		if err != nil {
+			return nil, err
+		}
+		if tp.S.IsVar() {
+			bound[tp.S.Var] = true
+		}
+		if tp.O.IsVar() {
+			bound[tp.O.Var] = true
+		}
+		if pv, ok := tp.P.(predVarPath); ok {
+			bound[pv.name] = true
+		}
+		sols, err = ctx.applyReadyFilters(filters, bound, sols)
+		if err != nil {
+			return nil, err
+		}
+		if len(sols) == 0 {
+			return nil, nil
+		}
+	}
+	return sols, nil
+}
+
+// patternCost estimates the result size of a triple pattern given which
+// variables are statically bound. Lower is better.
+func (ctx *evalCtx) patternCost(tp TriplePattern, bound boundSet) float64 {
+	var sid, oid rdf.ID
+	sBound := !tp.S.IsVar() || bound[tp.S.Var]
+	oBound := !tp.O.IsVar() || bound[tp.O.Var]
+	if !tp.S.IsVar() {
+		sid = ctx.g.Dict().Lookup(tp.S.Term)
+		if sid == rdf.NoID {
+			return 0 // constant absent: zero results, run it first
+		}
+	}
+	if !tp.O.IsVar() {
+		oid = ctx.g.Dict().Lookup(tp.O.Term)
+		if oid == rdf.NoID {
+			return 0
+		}
+	}
+	var base float64
+	switch p := tp.P.(type) {
+	case PredPath:
+		pid := ctx.g.Dict().Lookup(rdf.IRI(p.IRI))
+		if pid == rdf.NoID {
+			return 0
+		}
+		base = float64(ctx.g.Count(sid, pid, oid))
+	case predVarPath:
+		base = float64(ctx.g.Count(sid, rdf.NoID, oid))
+		if !bound[p.name] {
+			base *= 1.5
+		}
+	default:
+		// Complex property path: expensive unless an endpoint is anchored.
+		base = float64(ctx.g.Len())
+		if sBound || oBound {
+			base /= 4
+		} else {
+			base *= 4
+		}
+	}
+	// Bound variables narrow the match at execution time even though the
+	// static estimate cannot see the concrete value.
+	if sBound && tp.S.IsVar() {
+		base /= 8
+	}
+	if oBound && tp.O.IsVar() {
+		base /= 8
+	}
+	return base
+}
+
+// extendTriple extends each solution with every match of tp.
+func (ctx *evalCtx) extendTriple(tp TriplePattern, sols []solution) ([]solution, error) {
+	g := ctx.g
+	dict := g.Dict()
+
+	sSlot, oSlot := -1, -1
+	if tp.S.IsVar() {
+		sSlot = ctx.slot(tp.S.Var)
+	}
+	if tp.O.IsVar() {
+		oSlot = ctx.slot(tp.O.Var)
+	}
+	pSlot := -1
+	var predPath Path = tp.P
+	if pv, ok := tp.P.(predVarPath); ok {
+		pSlot = ctx.slot(pv.name)
+		predPath = nil
+		_ = pv
+	}
+
+	var constS, constO rdf.ID
+	if !tp.S.IsVar() {
+		constS = dict.Lookup(tp.S.Term)
+		if constS == rdf.NoID {
+			return nil, nil
+		}
+	}
+	if !tp.O.IsVar() {
+		constO = dict.Lookup(tp.O.Term)
+		if constO == rdf.NoID {
+			return nil, nil
+		}
+	}
+	var constP rdf.ID
+	if pp, ok := tp.P.(PredPath); ok {
+		constP = dict.Lookup(rdf.IRI(pp.IRI))
+		if constP == rdf.NoID {
+			return nil, nil
+		}
+	}
+
+	var out []solution
+	for _, s := range sols {
+		sid, oid := constS, constO
+		if sSlot >= 0 && !s[sSlot].Zero() {
+			sid = dict.Lookup(s[sSlot])
+			if sid == rdf.NoID {
+				continue // bound to a term not in this graph
+			}
+		}
+		if oSlot >= 0 && !s[oSlot].Zero() {
+			oid = dict.Lookup(s[oSlot])
+			if oid == rdf.NoID {
+				continue
+			}
+		}
+		sameVar := tp.S.IsVar() && tp.O.IsVar() && tp.S.Var == tp.O.Var
+
+		emit := func(ms, mo rdf.ID, mp rdf.ID) {
+			if sameVar && ms != mo {
+				return
+			}
+			ns := append(solution(nil), s...)
+			if sSlot >= 0 {
+				ns[sSlot] = dict.Term(ms)
+			}
+			if oSlot >= 0 {
+				ns[oSlot] = dict.Term(mo)
+			}
+			if pSlot >= 0 {
+				ns[pSlot] = dict.Term(mp)
+			}
+			out = append(out, ns)
+		}
+
+		switch {
+		case pSlot >= 0:
+			pid := rdf.NoID
+			if !s[pSlot].Zero() {
+				pid = dict.Lookup(s[pSlot])
+				if pid == rdf.NoID {
+					continue
+				}
+			}
+			g.Match(sid, pid, oid, func(ms, mp, mo rdf.ID) bool {
+				emit(ms, mo, mp)
+				return true
+			})
+		case predPath != nil:
+			if _, simple := predPath.(PredPath); simple {
+				g.Match(sid, constP, oid, func(ms, _, mo rdf.ID) bool {
+					emit(ms, mo, rdf.NoID)
+					return true
+				})
+			} else {
+				seen := make(map[[2]rdf.ID]bool)
+				evalPath(g, predPath, sid, oid, func(ms, mo rdf.ID) bool {
+					key := [2]rdf.ID{ms, mo}
+					if seen[key] {
+						return true
+					}
+					seen[key] = true
+					emit(ms, mo, rdf.NoID)
+					return true
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// project applies SELECT, DISTINCT, ORDER BY, LIMIT and OFFSET.
+func (ctx *evalCtx) project(q *Query, sols []solution) (*Results, error) {
+	// ORDER BY before projection (keys may reference non-projected vars).
+	if len(q.OrderBy) > 0 {
+		type keyed struct {
+			sol  solution
+			keys []rdf.Term
+		}
+		ks := make([]keyed, len(sols))
+		for i, s := range sols {
+			keys := make([]rdf.Term, len(q.OrderBy))
+			for j, ok := range q.OrderBy {
+				if v, err := ok.Expr.Eval(solView{ctx, s}); err == nil {
+					keys[j] = v
+				}
+			}
+			ks[i] = keyed{sol: s, keys: keys}
+		}
+		sort.SliceStable(ks, func(a, b int) bool {
+			for j := range q.OrderBy {
+				c := ks[a].keys[j].Compare(ks[b].keys[j])
+				if q.OrderBy[j].Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		for i := range ks {
+			sols[i] = ks[i].sol
+		}
+	}
+
+	var vars []string
+	var exprs []Expression
+	if q.Star {
+		for _, v := range ctx.varNames {
+			if !strings.HasPrefix(v, "!") {
+				vars = append(vars, v)
+				exprs = append(exprs, VarExpr{Name: v})
+			}
+		}
+	} else {
+		for _, item := range q.Select {
+			vars = append(vars, item.Alias)
+			exprs = append(exprs, item.Expr)
+		}
+	}
+
+	res := &Results{Vars: vars}
+	var seen map[string]bool
+	if q.Distinct {
+		seen = make(map[string]bool)
+	}
+	for _, s := range sols {
+		row := make([]rdf.Term, len(exprs))
+		for i, e := range exprs {
+			if v, err := e.Eval(solView{ctx, s}); err == nil {
+				row[i] = v
+			}
+		}
+		if q.Distinct {
+			key := rowKey(row)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// OFFSET / LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func rowKey(row []rdf.Term) string {
+	var b strings.Builder
+	for _, t := range row {
+		b.WriteString(t.String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package sparql
+
+import (
+	"testing"
+
+	"optimatch/internal/rdf"
+)
+
+// mapView is a simple bindingView over a map, for unit-testing expressions
+// without an evaluator context.
+type mapView map[string]rdf.Term
+
+func (m mapView) lookupVar(name string) (rdf.Term, bool) {
+	t, ok := m[name]
+	return t, ok
+}
+
+func evalExpr(t *testing.T, e Expression, b mapView) (rdf.Term, error) {
+	t.Helper()
+	return e.Eval(b)
+}
+
+func TestThreeValuedAnd(t *testing.T) {
+	b := mapView{"t": rdf.Bool(true), "f": rdf.Bool(false)}
+	unbound := VarExpr{Name: "missing"}
+	tru := VarExpr{Name: "t"}
+	fls := VarExpr{Name: "f"}
+
+	// false && error -> false (not error), per SPARQL.
+	v, err := evalExpr(t, AndExpr{L: fls, R: unbound}, b)
+	if err != nil {
+		t.Fatalf("false && error should not error: %v", err)
+	}
+	if got, _ := v.Bool(); got {
+		t.Error("false && error = true")
+	}
+	// error && false -> false.
+	if v, err = evalExpr(t, AndExpr{L: unbound, R: fls}, b); err != nil {
+		t.Fatalf("error && false: %v", err)
+	}
+	// true && error -> error.
+	if _, err = evalExpr(t, AndExpr{L: tru, R: unbound}, b); err == nil {
+		t.Error("true && error should error")
+	}
+	// true && true -> true.
+	v, err = evalExpr(t, AndExpr{L: tru, R: tru}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.Bool(); !got {
+		t.Error("true && true = false")
+	}
+}
+
+func TestThreeValuedOr(t *testing.T) {
+	b := mapView{"t": rdf.Bool(true), "f": rdf.Bool(false)}
+	unbound := VarExpr{Name: "missing"}
+	tru := VarExpr{Name: "t"}
+	fls := VarExpr{Name: "f"}
+
+	// true || error -> true.
+	v, err := evalExpr(t, OrExpr{L: tru, R: unbound}, b)
+	if err != nil {
+		t.Fatalf("true || error: %v", err)
+	}
+	if got, _ := v.Bool(); !got {
+		t.Error("true || error = false")
+	}
+	// error || true -> true.
+	if _, err = evalExpr(t, OrExpr{L: unbound, R: tru}, b); err != nil {
+		t.Fatalf("error || true: %v", err)
+	}
+	// false || error -> error.
+	if _, err = evalExpr(t, OrExpr{L: fls, R: unbound}, b); err == nil {
+		t.Error("false || error should error")
+	}
+}
+
+func TestEffectiveBooleanValue(t *testing.T) {
+	cases := []struct {
+		term rdf.Term
+		want bool
+		err  bool
+	}{
+		{rdf.Bool(true), true, false},
+		{rdf.Bool(false), false, false},
+		{rdf.Int(0), false, false},
+		{rdf.Int(7), true, false},
+		{rdf.Float(0.0), false, false},
+		{rdf.Float(-2.5), true, false},
+		{rdf.String(""), false, false},
+		{rdf.String("x"), true, false},
+		{rdf.IRI("urn:x"), false, true},
+		{rdf.Blank("b"), false, true},
+	}
+	for _, c := range cases {
+		got, err := ebvTerm(c.term)
+		if c.err {
+			if err == nil {
+				t.Errorf("ebv(%v): expected error", c.term)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ebv(%v) = %v, %v; want %v", c.term, got, err, c.want)
+		}
+	}
+}
+
+func TestCmpMixedTypes(t *testing.T) {
+	b := mapView{}
+	// Numeric vs numeric-string compare numerically.
+	v, err := evalExpr(t, CmpExpr{Op: OpEq,
+		L: LitExpr{Term: rdf.Float(10)},
+		R: LitExpr{Term: rdf.String("1.0E+01")}}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.Bool(); !got {
+		t.Error("10 = 1.0E+01 should hold numerically")
+	}
+	// Ordering on non-literals errors.
+	if _, err := evalExpr(t, CmpExpr{Op: OpLt,
+		L: LitExpr{Term: rdf.IRI("a")},
+		R: LitExpr{Term: rdf.IRI("b")}}, b); err == nil {
+		t.Error("IRI ordering should error")
+	}
+	// String ordering works lexicographically.
+	v, err = evalExpr(t, CmpExpr{Op: OpLt,
+		L: LitExpr{Term: rdf.String("abc")},
+		R: LitExpr{Term: rdf.String("abd")}}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.Bool(); !got {
+		t.Error(`"abc" < "abd" should hold`)
+	}
+	// Inequality across kinds is true.
+	v, err = evalExpr(t, CmpExpr{Op: OpNeq,
+		L: LitExpr{Term: rdf.IRI("a")},
+		R: LitExpr{Term: rdf.String("a")}}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.Bool(); !got {
+		t.Error("IRI != literal should hold")
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	b := mapView{}
+	if _, err := evalExpr(t, ArithExpr{Op: '/',
+		L: LitExpr{Term: rdf.Int(1)},
+		R: LitExpr{Term: rdf.Int(0)}}, b); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := evalExpr(t, ArithExpr{Op: '+',
+		L: LitExpr{Term: rdf.String("x")},
+		R: LitExpr{Term: rdf.Int(1)}}, b); err == nil {
+		t.Error("string arithmetic should error")
+	}
+	if _, err := evalExpr(t, NegExpr{Inner: LitExpr{Term: rdf.String("x")}}, b); err == nil {
+		t.Error("negating a string should error")
+	}
+}
+
+func TestCoalesceAndIf(t *testing.T) {
+	b := mapView{"x": rdf.Int(5)}
+	v, err := evalExpr(t, CallExpr{Name: "COALESCE", Args: []Expression{
+		VarExpr{Name: "missing"}, VarExpr{Name: "x"},
+	}}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.Float(); f != 5 {
+		t.Errorf("COALESCE = %v", v)
+	}
+	if _, err := evalExpr(t, CallExpr{Name: "COALESCE", Args: []Expression{
+		VarExpr{Name: "missing"},
+	}}, b); err == nil {
+		t.Error("COALESCE with no valid arg should error")
+	}
+	v, err = evalExpr(t, CallExpr{Name: "IF", Args: []Expression{
+		CmpExpr{Op: OpGt, L: VarExpr{Name: "x"}, R: LitExpr{Term: rdf.Int(1)}},
+		LitExpr{Term: rdf.String("big")},
+		LitExpr{Term: rdf.String("small")},
+	}}, b)
+	if err != nil || v.Value != "big" {
+		t.Errorf("IF = %v, %v", v, err)
+	}
+}
+
+func TestBoundRequiresVariable(t *testing.T) {
+	b := mapView{}
+	if _, err := evalExpr(t, CallExpr{Name: "BOUND", Args: []Expression{
+		LitExpr{Term: rdf.Int(1)},
+	}}, b); err == nil {
+		t.Error("BOUND(literal) should error")
+	}
+}
+
+func TestAggExprOutsideGroupingErrors(t *testing.T) {
+	b := mapView{}
+	if _, err := evalExpr(t, AggExpr{Fn: "COUNT", Star: true}, b); err == nil {
+		t.Error("bare aggregate evaluation should error")
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex(`?v $w <urn:x> pre:local _:b "s" 'q' 1 2.5 3e7 { } ( ) [ ] . ; , / | ^ ^^ * + - ! != = < > <= >= && || a # comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{
+		tokVar, tokVar, tokIRI, tokPName, tokBlank, tokString, tokString,
+		tokNumber, tokNumber, tokNumber,
+		tokLBrace, tokRBrace, tokLParen, tokRParen, tokLBracket, tokRBracket,
+		tokDot, tokSemicolon, tokComma, tokSlash, tokPipe, tokCaret, tokHatHat,
+		tokStar, tokPlus, tokMinus, tokBang, tokNeq, tokEq, tokLt, tokGt,
+		tokLe, tokGe, tokAndAnd, tokOrOr, tokA, tokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("tokens = %d, want %d: %+v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d = kind %d (%q), want %d", i, toks[i].kind, toks[i].text, k)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		`"bad\escape"`,
+		"'newline\n'",
+		`_:`,
+		`_x`,
+		"&",
+		"@",
+	}
+	for _, in := range bad {
+		if _, err := lex(in); err == nil {
+			t.Errorf("lex(%q): expected error", in)
+		}
+	}
+}
+
+func TestLexerIRIVsComparison(t *testing.T) {
+	toks, err := lex(`?a < 5 <urn:x> ?b <= 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{tokVar, tokLt, tokNumber, tokIRI, tokVar, tokLe, tokNumber, tokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d kind = %d, want %d", i, kinds[i], want[i])
+		}
+	}
+}

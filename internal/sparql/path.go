@@ -1,0 +1,222 @@
+package sparql
+
+import "optimatch/internal/rdf"
+
+// evalPath emits every (subject, object) pair connected by the property path
+// p in graph g. A rdf.NoID endpoint is a wildcard; a non-NoID endpoint
+// constrains that side. emit returns false to stop the enumeration; evalPath
+// returns false when it was stopped early.
+//
+// Closure paths (`+`, `*`) are evaluated with breadth-first search and set
+// semantics (each reachable pair is emitted once per start node), matching
+// SPARQL 1.1 arbitrary-length path semantics.
+func evalPath(g *rdf.Graph, p Path, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
+	switch p := p.(type) {
+	case PredPath:
+		pid := g.Dict().Lookup(rdf.IRI(p.IRI))
+		if pid == rdf.NoID {
+			return true // predicate absent from graph: zero matches
+		}
+		cont := true
+		g.Match(s, pid, o, func(ms, _, mo rdf.ID) bool {
+			if !emit(ms, mo) {
+				cont = false
+				return false
+			}
+			return true
+		})
+		return cont
+	case InvPath:
+		return evalPath(g, p.Inner, o, s, func(a, b rdf.ID) bool { return emit(b, a) })
+	case SeqPath:
+		return evalSeq(g, p.Parts, s, o, emit)
+	case AltPath:
+		for _, alt := range p.Alts {
+			if !evalPath(g, alt, s, o, emit) {
+				return false
+			}
+		}
+		return true
+	case ModPath:
+		return evalMod(g, p, s, o, emit)
+	default:
+		// predVarPath is handled by the evaluator before reaching here.
+		panic("sparql: evalPath on unsupported path type")
+	}
+}
+
+func evalSeq(g *rdf.Graph, parts []Path, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
+	if len(parts) == 1 {
+		return evalPath(g, parts[0], s, o, emit)
+	}
+	if s != rdf.NoID || o == rdf.NoID {
+		// Evaluate left to right; dedupe (start, mid) pairs so diamond
+		// shapes do not explode.
+		seen := make(map[[2]rdf.ID]bool)
+		return evalPath(g, parts[0], s, rdf.NoID, func(start, mid rdf.ID) bool {
+			key := [2]rdf.ID{start, mid}
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			return evalSeq(g, parts[1:], mid, o, func(_, end rdf.ID) bool {
+				return emit(start, end)
+			})
+		})
+	}
+	// Only the object side is bound: evaluate right to left.
+	last := parts[len(parts)-1]
+	seen := make(map[[2]rdf.ID]bool)
+	return evalPath(g, last, rdf.NoID, o, func(mid, end rdf.ID) bool {
+		key := [2]rdf.ID{mid, end}
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		return evalSeq(g, parts[:len(parts)-1], rdf.NoID, mid, func(start, _ rdf.ID) bool {
+			return emit(start, end)
+		})
+	})
+}
+
+func evalMod(g *rdf.Graph, p ModPath, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
+	switch p.Mod {
+	case ModZeroOrOne:
+		// Zero-length component.
+		if !emitZeroLength(g, s, o, emit) {
+			return false
+		}
+		// One-step component, skipping pairs the zero-length part already
+		// produced (x -> x).
+		return evalPath(g, p.Inner, s, o, func(a, b rdf.ID) bool {
+			if a == b {
+				return true
+			}
+			return emit(a, b)
+		})
+	case ModOneOrMore, ModZeroOrMore:
+		includeZero := p.Mod == ModZeroOrMore
+		switch {
+		case s != rdf.NoID:
+			return closure(g, p.Inner, s, o, includeZero, false, emit)
+		case o != rdf.NoID:
+			// Walk backwards from the object.
+			return closure(g, p.Inner, o, s, includeZero, true, func(a, b rdf.ID) bool {
+				return emit(b, a)
+			})
+		default:
+			// Both ends unbound: run a closure from every node.
+			for _, start := range allNodes(g) {
+				if !closure(g, p.Inner, start, rdf.NoID, includeZero, false, emit) {
+					return false
+				}
+			}
+			return true
+		}
+	default:
+		panic("sparql: unknown path modifier")
+	}
+}
+
+// emitZeroLength emits the zero-length pairs for a `?` or `*` path given the
+// endpoint bindings.
+func emitZeroLength(g *rdf.Graph, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
+	switch {
+	case s != rdf.NoID && o != rdf.NoID:
+		if s == o {
+			return emit(s, s)
+		}
+		return true
+	case s != rdf.NoID:
+		return emit(s, s)
+	case o != rdf.NoID:
+		return emit(o, o)
+	default:
+		for _, n := range allNodes(g) {
+			if !emit(n, n) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// closure runs a BFS over the inner path from start. When backward is true
+// the inner path edges are followed in reverse. Pairs (start, reached) are
+// emitted once each; when other is non-NoID only the matching pair is
+// emitted (but the whole reachable set is still explored until found).
+func closure(g *rdf.Graph, inner Path, start, other rdf.ID, includeZero, backward bool, emit func(s, o rdf.ID) bool) bool {
+	// emittedStart tracks whether the (start, start) pair has been produced:
+	// by the zero-length component for `*`, or — for `+` — by a cycle back
+	// to the start node found during the walk.
+	emittedStart := false
+	if includeZero {
+		if other == rdf.NoID || other == start {
+			emittedStart = true
+			if !emit(start, start) {
+				return false
+			}
+		}
+	}
+	visited := map[rdf.ID]bool{start: true}
+	frontier := []rdf.ID{start}
+	step := func(from rdf.ID, fn func(to rdf.ID) bool) bool {
+		if backward {
+			return evalPath(g, inner, rdf.NoID, from, func(a, _ rdf.ID) bool { return fn(a) })
+		}
+		return evalPath(g, inner, from, rdf.NoID, func(_, b rdf.ID) bool { return fn(b) })
+	}
+	for len(frontier) > 0 {
+		var next []rdf.ID
+		for _, n := range frontier {
+			stopped := !step(n, func(to rdf.ID) bool {
+				if to == start {
+					// A cycle back to the start: (start, start) is reachable
+					// in >= 1 steps, which the pre-marked visited set would
+					// otherwise hide.
+					if !emittedStart && (other == rdf.NoID || other == start) {
+						emittedStart = true
+						if !emit(start, start) {
+							return false
+						}
+					}
+					return true
+				}
+				if visited[to] {
+					return true
+				}
+				visited[to] = true
+				next = append(next, to)
+				if other == rdf.NoID || other == to {
+					if !emit(start, to) {
+						return false
+					}
+				}
+				return true
+			})
+			if stopped {
+				return false
+			}
+		}
+		frontier = next
+	}
+	return true
+}
+
+// allNodes returns every distinct term ID used as a subject or object.
+func allNodes(g *rdf.Graph) []rdf.ID {
+	seen := make(map[rdf.ID]bool)
+	var out []rdf.ID
+	g.Match(rdf.NoID, rdf.NoID, rdf.NoID, func(s, _, o rdf.ID) bool {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+		return true
+	})
+	return out
+}

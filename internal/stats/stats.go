@@ -1,0 +1,111 @@
+// Package stats provides the small statistical toolkit OptImatch uses for
+// recommendation ranking (Pearson correlation between a match's cost/
+// cardinality context and an expert pattern's profile, Section 2.3) and for
+// the linearity checks in the experimental study (simple linear regression
+// with R², Section 3.2).
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient of the paired samples
+// (xs[i], ys[i]) in [-1, 1]. It returns 0 when either side has zero variance
+// or the lengths differ.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Linear is a fitted simple linear regression y = Slope*x + Intercept.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination in [0, 1]
+}
+
+// LinearFit fits y = a*x + b by least squares. With fewer than two points or
+// zero x-variance it returns a flat line with R2 = 0.
+func LinearFit(xs, ys []float64) Linear {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Linear{Intercept: Mean(ys)}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{Intercept: my}
+	}
+	slope := sxy / sxx
+	fit := Linear{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // ys constant and perfectly predicted by the flat fit
+		return fit
+	}
+	var ssRes float64
+	for i := range xs {
+		r := ys[i] - (fit.Slope*xs[i] + fit.Intercept)
+		ssRes += r * r
+	}
+	fit.R2 = 1 - ssRes/syy
+	if fit.R2 < 0 {
+		fit.R2 = 0
+	}
+	return fit
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !approx(Mean(xs), 5) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !approx(Variance(xs), 4) {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if !approx(StdDev(xs), 2) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty slice should yield 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ysPos := []float64{2, 4, 6, 8, 10}
+	ysNeg := []float64{10, 8, 6, 4, 2}
+	if !approx(Pearson(xs, ysPos), 1) {
+		t.Errorf("perfect positive corr = %v", Pearson(xs, ysPos))
+	}
+	if !approx(Pearson(xs, ysNeg), -1) {
+		t.Errorf("perfect negative corr = %v", Pearson(xs, ysNeg))
+	}
+	if Pearson(xs, []float64{3, 3, 3, 3, 3}) != 0 {
+		t.Error("zero-variance side should give 0")
+	}
+	if Pearson(xs, xs[:3]) != 0 {
+		t.Error("length mismatch should give 0")
+	}
+	if Pearson(nil, nil) != 0 {
+		t.Error("empty should give 0")
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		half := len(raw) / 2
+		xs, ys := raw[:half], raw[half:2*half]
+		for _, v := range append(xs, ys...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		r := Pearson(xs, ys)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{100, 200, 300, 400, 500}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	fit := LinearFit(xs, ys)
+	if !approx(fit.Slope, 3) || !approx(fit.Intercept, 7) || !approx(fit.R2, 1) {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{1.1, 1.9, 3.2, 3.8, 5.1, 5.9, 7.2, 7.8}
+	fit := LinearFit(xs, ys)
+	if fit.Slope < 0.9 || fit.Slope > 1.1 {
+		t.Errorf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if fit := LinearFit([]float64{1}, []float64{5}); fit.Slope != 0 || fit.Intercept != 5 {
+		t.Errorf("single point fit = %+v", fit)
+	}
+	if fit := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); fit.Slope != 0 {
+		t.Errorf("zero x-variance fit = %+v", fit)
+	}
+	if fit := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4}); fit.R2 != 1 {
+		t.Errorf("constant y fit = %+v", fit)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp wrong")
+	}
+}

@@ -1,0 +1,145 @@
+package textsearch
+
+import (
+	"testing"
+
+	"optimatch/internal/fixtures"
+	"optimatch/internal/qep"
+	"optimatch/internal/workload"
+)
+
+func TestPredictAOnFixtures(t *testing.T) {
+	if !PredictA(qep.Text(fixtures.Figure1())) {
+		t.Error("Figure 1 (easy rendering) should be found by manual search")
+	}
+	if PredictA(qep.Text(fixtures.Figure8())) {
+		t.Error("Figure 8 has no NLJOIN")
+	}
+	if PredictA(qep.Text(fixtures.Clean())) {
+		t.Error("clean plan misreported")
+	}
+}
+
+func TestPredictBOnFixtures(t *testing.T) {
+	if !PredictB(qep.Text(fixtures.Figure7())) {
+		t.Error("Figure 7 has >HSJOIN and >NLJOIN markers")
+	}
+	if PredictB(qep.Text(fixtures.Figure1())) {
+		t.Error("Figure 1 has no outer joins")
+	}
+}
+
+func TestPredictCOnFixtures(t *testing.T) {
+	// Figure 8's collapsed cardinality renders as 1.311e-08 — the baseline's
+	// naive decimal regex misses it (the paper's signature error).
+	if PredictC(qep.Text(fixtures.Figure8())) {
+		t.Error("exponent-form cardinality should be missed by the naive baseline")
+	}
+	if PredictC(qep.Text(fixtures.Clean())) {
+		t.Error("clean plan misreported")
+	}
+}
+
+func TestPredictDOnFixtures(t *testing.T) {
+	if !PredictD(qep.Text(fixtures.SortSpill())) {
+		t.Error("sort spill with decimal costs should be found")
+	}
+	if PredictD(qep.Text(fixtures.Clean())) {
+		t.Error("clean plan misreported")
+	}
+}
+
+func TestBaselineMissesHardFormsOnly(t *testing.T) {
+	// All-easy workload: the baseline finds everything (PaperPrecision 1).
+	easy, err := workload.Generate(workload.Config{
+		Seed: 21, NumPlans: 40, MinOps: 20, MaxOps: 50,
+		InjectA: 10, InjectB: 10, InjectC: 10, HardFraction: 1e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-hard workload: the baseline misses everything injected.
+	hard, err := workload.Generate(workload.Config{
+		Seed: 22, NumPlans: 40, MinOps: 20, MaxOps: 50,
+		InjectA: 10, InjectB: 10, InjectC: 10, HardFraction: 0.999999,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name       string
+		w          *workload.Workload
+		wantRecall float64
+		cmp        func(got, want float64) bool
+	}{
+		{"easy", easy, 1.0, func(g, w float64) bool { return g >= w }},
+		{"hard", hard, 0.0, func(g, w float64) bool { return g <= w }},
+	} {
+		texts := tc.w.Texts()
+		var ids []string
+		for _, p := range tc.w.Plans {
+			ids = append(ids, p.ID)
+		}
+		for _, key := range []string{workload.KeyA, workload.KeyB, workload.KeyC} {
+			pred := make(map[string]bool)
+			for id, text := range texts {
+				pred[id] = Predict(key, text)
+			}
+			m := Evaluate(ids, pred, tc.w.Truth[key])
+			if got := m.PaperPrecision(); !tc.cmp(got, tc.wantRecall) {
+				t.Errorf("%s workload pattern %s: paper precision = %.2f (TP=%d FP=%d FN=%d)",
+					tc.name, key, got, m.TP, m.FP, m.FN)
+			}
+		}
+	}
+}
+
+func TestBaselinePrecisionBetweenExtremes(t *testing.T) {
+	w, err := workload.Generate(workload.Config{
+		Seed: 23, NumPlans: 100, MinOps: 20, MaxOps: 60,
+		InjectA: 15, InjectB: 12, InjectC: 18, HardFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := w.Texts()
+	var ids []string
+	for _, p := range w.Plans {
+		ids = append(ids, p.ID)
+	}
+	for _, key := range []string{workload.KeyA, workload.KeyB, workload.KeyC} {
+		pred := make(map[string]bool)
+		for id, text := range texts {
+			pred[id] = Predict(key, text)
+		}
+		m := Evaluate(ids, pred, w.Truth[key])
+		p := m.PaperPrecision()
+		if p <= 0.4 || p >= 1.0 {
+			t.Errorf("pattern %s: paper precision = %.2f, want strictly between 0.4 and 1 (TP=%d FN=%d)",
+				key, p, m.TP, m.FN)
+		}
+	}
+}
+
+func TestEvaluateAndMetrics(t *testing.T) {
+	ids := []string{"a", "b", "c", "d"}
+	pred := map[string]bool{"a": true, "b": true}
+	truth := map[string]bool{"a": true, "c": true}
+	m := Evaluate(ids, pred, truth)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 || m.TN != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.PaperPrecision() != 0.5 || m.Precision() != 0.5 || m.Recall() != 0.5 {
+		t.Errorf("rates wrong: %+v", m)
+	}
+	empty := Evaluate(nil, nil, nil)
+	if empty.PaperPrecision() != 1 || empty.Precision() != 1 {
+		t.Error("empty metrics should default to 1")
+	}
+}
+
+func TestPredictUnknownKey(t *testing.T) {
+	if Predict("Z", "anything") {
+		t.Error("unknown key should predict false")
+	}
+}

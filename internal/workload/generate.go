@@ -1,0 +1,502 @@
+// Package workload generates synthetic DB2-style query execution plans that
+// stand in for the paper's proprietary 1000-QEP IBM customer workload
+// (Section 3.1). The generator reproduces the structural properties the
+// experiments depend on:
+//
+//   - configurable plan sizes, including the paper's bimodal distribution
+//     (plans below 250 or above 500 LOLEPOPs, Section 3.2.2);
+//   - realistic cost/cardinality magnitudes whose explain-file rendering
+//     mixes decimal and exponent notation — the property that makes naive
+//     text search error-prone (Section 3.3);
+//   - controlled injection of the canonical problem patterns A–D with exact
+//     ground truth, while the random plan fabric is constrained to never
+//     form an accidental instance of any canonical pattern. OptImatch's
+//     matches can therefore be scored exactly.
+//
+// All generation is driven by an explicit seed and fully deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"optimatch/internal/qep"
+)
+
+// Config controls workload generation.
+type Config struct {
+	Seed     int64
+	NumPlans int
+
+	// MinOps/MaxOps bound the target LOLEPOP count per plan (defaults
+	// 60/240, matching the paper's "100+ operators on average").
+	MinOps, MaxOps int
+
+	// Bimodal adds the paper's second mode: BigFraction of the plans get
+	// 500–550 operators.
+	Bimodal     bool
+	BigFraction float64 // default 0.1 when Bimodal
+
+	// OpCounts, when non-empty, fixes the exact operator-count target of
+	// each plan (cycled); it overrides MinOps/MaxOps/Bimodal. Used by the
+	// Figure 10 experiment.
+	OpCounts []int
+
+	// InjectA..InjectG give the exact number of plans to inject each
+	// canonical pattern into (each into distinct, randomly chosen plans;
+	// a plan may receive several different patterns). G is the cartesian
+	// join extension pattern; E and F are not injectable (the random
+	// fabric's TEMP costs would create ambiguous truth).
+	InjectA, InjectB, InjectC, InjectD, InjectG int
+
+	// HardFraction is the fraction of injected pattern instances rendered
+	// in the "hard" lexical form (exponent-notation numbers, uncommon join
+	// method variants) that defeats naive text search. Default 0.35.
+	// Hard instances are apportioned deterministically (every k-th instance
+	// is hard), so small workloads hit the requested fraction exactly.
+	HardFraction float64
+
+	// HardFractions overrides HardFraction per pattern key ("A".."D").
+	// Used by the Table 1 experiment to reproduce the paper's per-pattern
+	// manual-search precisions.
+	HardFractions map[string]float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinOps == 0 {
+		c.MinOps = 60
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 240
+	}
+	if c.Bimodal && c.BigFraction == 0 {
+		c.BigFraction = 0.1
+	}
+	if c.HardFraction == 0 {
+		c.HardFraction = 0.35
+	}
+	return c
+}
+
+// Pattern keys for ground truth.
+const (
+	KeyA = "A"
+	KeyB = "B"
+	KeyC = "C"
+	KeyD = "D"
+	KeyG = "G"
+)
+
+// Truth records which plans had which patterns injected.
+type Truth map[string]map[string]bool // pattern key -> plan ID -> present
+
+// Has reports whether pattern key was injected into plan id.
+func (t Truth) Has(key, planID string) bool { return t[key][planID] }
+
+// Count returns the number of plans carrying pattern key.
+func (t Truth) Count(key string) int { return len(t[key]) }
+
+// Workload is a generated set of plans plus injection ground truth.
+type Workload struct {
+	Plans []*qep.Plan
+	Truth Truth
+}
+
+// Texts renders every plan to its OEF explain text, keyed by plan ID.
+func (w *Workload) Texts() map[string]string {
+	out := make(map[string]string, len(w.Plans))
+	for _, p := range w.Plans {
+		out[p.ID] = qep.Text(p)
+	}
+	return out
+}
+
+// Generate builds a workload from the configuration.
+func Generate(cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumPlans <= 0 {
+		return nil, fmt.Errorf("workload: NumPlans must be positive")
+	}
+	if cfg.MinOps < 3 || cfg.MaxOps < cfg.MinOps {
+		return nil, fmt.Errorf("workload: bad op count range [%d, %d]", cfg.MinOps, cfg.MaxOps)
+	}
+	for _, n := range cfg.OpCounts {
+		if n < 3 {
+			return nil, fmt.Errorf("workload: op count target %d too small (min 3)", n)
+		}
+	}
+	for _, inj := range []int{cfg.InjectA, cfg.InjectB, cfg.InjectC, cfg.InjectD, cfg.InjectG} {
+		if inj > cfg.NumPlans {
+			return nil, fmt.Errorf("workload: injection count %d exceeds NumPlans %d", inj, cfg.NumPlans)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{Truth: Truth{KeyA: {}, KeyB: {}, KeyC: {}, KeyD: {}, KeyG: {}}}
+	decider := newHardDecider(cfg)
+
+	// Decide injection targets: a random distinct subset per pattern.
+	targets := map[string]map[int]bool{
+		KeyA: pickDistinct(rng, cfg.NumPlans, cfg.InjectA),
+		KeyB: pickDistinct(rng, cfg.NumPlans, cfg.InjectB),
+		KeyC: pickDistinct(rng, cfg.NumPlans, cfg.InjectC),
+		KeyD: pickDistinct(rng, cfg.NumPlans, cfg.InjectD),
+		KeyG: pickDistinct(rng, cfg.NumPlans, cfg.InjectG),
+	}
+
+	for i := 0; i < cfg.NumPlans; i++ {
+		target := cfg.targetOps(rng, i)
+		id := fmt.Sprintf("Q%d", i+1)
+		g := newPlanGen(rng, id, decider)
+		for _, key := range []string{KeyA, KeyB, KeyC, KeyD, KeyG} {
+			if targets[key][i] {
+				g.inject = append(g.inject, key)
+				w.Truth[key][id] = true
+			}
+		}
+		p, err := g.build(target)
+		if err != nil {
+			return nil, fmt.Errorf("workload: plan %s: %w", id, err)
+		}
+		w.Plans = append(w.Plans, p)
+	}
+	return w, nil
+}
+
+func (c Config) targetOps(rng *rand.Rand, i int) int {
+	if len(c.OpCounts) > 0 {
+		return c.OpCounts[i%len(c.OpCounts)]
+	}
+	if c.Bimodal && rng.Float64() < c.BigFraction {
+		return 500 + rng.Intn(51)
+	}
+	return c.MinOps + rng.Intn(c.MaxOps-c.MinOps+1)
+}
+
+func pickDistinct(rng *rand.Rand, n, k int) map[int]bool {
+	out := make(map[int]bool, k)
+	perm := rng.Perm(n)
+	for i := 0; i < k && i < n; i++ {
+		out[perm[i]] = true
+	}
+	return out
+}
+
+// tablePool provides realistic warehouse-style table names.
+var tableBases = []string{
+	"SALES_FACT", "CUST_DIM", "PROD_DIM", "STORE_DIM", "TIME_DIM",
+	"TRAN_BASE", "ACCT_DIM", "TELEPHONE_DETAIL", "INVENTORY_FACT",
+	"SHIPMENT_FACT", "PROMO_DIM", "RETURNS_FACT", "WEB_CLICKS",
+	"LEDGER_BASE", "BRANCH_DIM",
+}
+
+var columnPool = []string{
+	"CUST_ID", "PROD_ID", "STORE_ID", "TIME_ID", "ACCT_ID", "BRANCH_ID",
+	"SALE_AMT", "QTY", "DISCOUNT", "REGION", "SEGMENT", "STATUS",
+	"TX_DATE", "LOAD_TS", "NAME", "CATEGORY",
+}
+
+// planGen builds one synthetic plan.
+type planGen struct {
+	rng    *rand.Rand
+	plan   *qep.Plan
+	nextID int
+	harder *hardDecider
+	inject []string // pattern keys to graft into this plan
+	// counters for unique naming
+	tableSeq int
+}
+
+func newPlanGen(rng *rand.Rand, id string, harder *hardDecider) *planGen {
+	return &planGen{
+		rng:    rng,
+		plan:   qep.NewPlan(id),
+		nextID: 1,
+		harder: harder,
+	}
+}
+
+// hardDecider apportions "hard" pattern instances deterministically: after n
+// instances of a pattern, round(n*fraction) of them have been hard.
+type hardDecider struct {
+	frac  map[string]float64
+	total map[string]int
+	hard  map[string]int
+}
+
+func newHardDecider(cfg Config) *hardDecider {
+	d := &hardDecider{
+		frac:  map[string]float64{},
+		total: map[string]int{},
+		hard:  map[string]int{},
+	}
+	for _, key := range []string{KeyA, KeyB, KeyC, KeyD, KeyG} {
+		f := cfg.HardFraction
+		if v, ok := cfg.HardFractions[key]; ok {
+			f = v
+		}
+		d.frac[key] = f
+	}
+	return d
+}
+
+func (d *hardDecider) decide(key string) bool {
+	d.total[key]++
+	want := int(math.Round(float64(d.total[key]) * d.frac[key]))
+	if d.hard[key] < want {
+		d.hard[key]++
+		return true
+	}
+	return false
+}
+
+func (g *planGen) newOp(typ string) *qep.Operator {
+	op := &qep.Operator{ID: g.nextID, Type: typ, Args: map[string]string{}}
+	g.nextID++
+	if err := g.plan.AddOperator(op); err != nil {
+		panic(err) // IDs are sequential; duplicates are impossible
+	}
+	return op
+}
+
+func (g *planGen) newTable(minCard, maxCard float64) *qep.BaseObject {
+	g.tableSeq++
+	base := tableBases[g.rng.Intn(len(tableBases))]
+	name := fmt.Sprintf("%s_%d", base, g.tableSeq)
+	ncols := 2 + g.rng.Intn(4)
+	cols := make([]string, 0, ncols)
+	seen := map[string]bool{}
+	for len(cols) < ncols {
+		c := columnPool[g.rng.Intn(len(columnPool))]
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
+	card := minCard + g.rng.Float64()*(maxCard-minCard)
+	return g.plan.AddObject(&qep.BaseObject{Name: name, Type: "TABLE", Cardinality: card, Columns: cols})
+}
+
+func (g *planGen) qualCols(obj *qep.BaseObject, n int) []string {
+	if n > len(obj.Columns) {
+		n = len(obj.Columns)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf("Q%d.%s", g.rng.Intn(9)+1, obj.Columns[i])
+	}
+	return out
+}
+
+// build assembles the plan: RETURN root over a random operator tree with the
+// requested pattern grafts merged in via extra join levels.
+func (g *planGen) build(targetOps int) (*qep.Plan, error) {
+	root := g.newOp("RETURN")
+
+	// Reserve operators for the grafts.
+	reserve := 0
+	for _, key := range g.inject {
+		reserve += graftSize(key) + 1 // +1 for the stitch join
+	}
+	budget := targetOps - 1 - reserve // minus RETURN
+	if budget < 2 {
+		budget = 2
+	}
+
+	top := g.subtree(budget)
+
+	// Stitch each graft above the current top with an innocuous hash join.
+	for _, key := range g.inject {
+		graft := g.graft(key)
+		join := g.newOp("HSJOIN")
+		join.Predicates = []string{g.joinPredicate()}
+		g.link(join, qep.OuterStream, top)
+		g.link(join, qep.InnerStream, graft)
+		g.cost(join, maxf(top.Cardinality/4, 1), 0)
+		top = join
+	}
+
+	g.link(root, qep.GeneralStream, top)
+	g.cost(root, top.Cardinality, 0)
+	g.plan.TotalCost = root.TotalCost
+	g.plan.Statement = g.statement()
+
+	if err := g.plan.Resolve(); err != nil {
+		return nil, err
+	}
+	if err := g.plan.Validate(); err != nil {
+		return nil, err
+	}
+	return g.plan, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// subtree builds a random operator subtree with approximately `budget`
+// operators, carefully avoiding the canonical patterns:
+//
+//   - random NLJOINs never get a TBSCAN inner with cardinality > 100;
+//   - random joins are all inner joins (no left-outer markers);
+//   - random SORTs always have I/O cost at most their input's;
+//   - random scans keep cardinality >= 1.
+func (g *planGen) subtree(budget int) *qep.Operator {
+	switch {
+	case budget <= 1:
+		return g.leafScan()
+	case budget == 2:
+		return g.unaryOver(g.leafScan())
+	}
+	r := g.rng.Float64()
+	switch {
+	case r < 0.45: // binary join
+		left := budget / 2
+		if left < 1 {
+			left = 1
+		}
+		lop := g.subtree(left)
+		rop := g.subtree(budget - 1 - left)
+		return g.join(lop, rop)
+	case r < 0.8: // unary operator
+		return g.unaryOver(g.subtree(budget - 1))
+	default: // fetch over index scan
+		rem := budget - 2
+		if rem < 1 {
+			return g.fetchIxScan()
+		}
+		f := g.fetchIxScan()
+		j := g.join(f, g.subtree(rem-1))
+		return j
+	}
+}
+
+func (g *planGen) leafScan() *qep.Operator {
+	obj := g.newTable(1e3, 5e8)
+	typ := "TBSCAN"
+	if g.rng.Float64() < 0.4 {
+		typ = "IXSCAN"
+	}
+	op := g.newOp(typ)
+	// Selectivity keeps cardinality >= 1 (never the Pattern C collapse).
+	sel := 0.001 + g.rng.Float64()*0.5
+	card := maxf(obj.Cardinality*sel, 1)
+	g.plan.Link(op, qep.GeneralStream, nil, obj, obj.Cardinality, g.qualCols(obj, 2))
+	g.cost(op, card, obj.Cardinality/5000)
+	if g.rng.Float64() < 0.5 {
+		op.Predicates = []string{g.localPredicate(obj)}
+	}
+	return op
+}
+
+func (g *planGen) fetchIxScan() *qep.Operator {
+	obj := g.newTable(1e4, 5e8)
+	ix := g.newOp("IXSCAN")
+	sel := 0.0005 + g.rng.Float64()*0.01
+	card := maxf(obj.Cardinality*sel, 1)
+	g.plan.Link(ix, qep.GeneralStream, nil, obj, obj.Cardinality, g.qualCols(obj, 1))
+	g.cost(ix, card, obj.Cardinality/20000)
+	fetch := g.newOp("FETCH")
+	g.link(fetch, qep.GeneralStream, ix)
+	g.cost(fetch, card, card/100)
+	return fetch
+}
+
+var unaryTypes = []string{"SORT", "GRPBY", "FILTER", "TEMP", "UNIQUE", "TBSCAN"}
+
+func (g *planGen) unaryOver(child *qep.Operator) *qep.Operator {
+	typ := unaryTypes[g.rng.Intn(len(unaryTypes))]
+	op := g.newOp(typ)
+	g.link(op, qep.GeneralStream, child)
+	card := child.Cardinality
+	switch typ {
+	case "GRPBY", "UNIQUE":
+		card = maxf(card/10, 1)
+	case "FILTER":
+		card = maxf(card/3, 1)
+	}
+	g.cost(op, card, 0)
+	if typ == "SORT" {
+		// Never spill in the random fabric: I/O cost capped at the input's.
+		childIO := child.IOCost
+		op.IOCost = childIO * (0.5 + g.rng.Float64()*0.5)
+	}
+	return op
+}
+
+func (g *planGen) join(outer, inner *qep.Operator) *qep.Operator {
+	typ := "HSJOIN"
+	switch r := g.rng.Float64(); {
+	case r < 0.3:
+		typ = "MSJOIN"
+	case r < 0.5:
+		typ = "NLJOIN"
+	}
+	if typ == "NLJOIN" && inner.Type == "TBSCAN" && inner.Cardinality > 100 {
+		// Would form Pattern A accidentally; use a hash join instead.
+		typ = "HSJOIN"
+	}
+	op := g.newOp(typ)
+	op.Predicates = []string{g.joinPredicate()}
+	g.link(op, qep.OuterStream, outer)
+	g.link(op, qep.InnerStream, inner)
+	card := maxf(maxf(outer.Cardinality, inner.Cardinality)*(0.1+g.rng.Float64()*0.9), 1)
+	g.cost(op, card, 0)
+	return op
+}
+
+// link wires child under parent and is paired with cost() which accumulates
+// cumulative costs from children.
+func (g *planGen) link(parent *qep.Operator, kind qep.StreamKind, child *qep.Operator) {
+	g.plan.Link(parent, kind, child, nil, child.Cardinality, nil)
+}
+
+// cost assigns cardinality and cumulative costs: children totals plus an
+// own-cost term derived from cardinality.
+func (g *planGen) cost(op *qep.Operator, card, extraIO float64) {
+	op.Cardinality = card
+	var childCost, childIO, childCPU float64
+	for _, in := range op.Inputs {
+		if in.Op != nil {
+			childCost += in.Op.TotalCost
+			childIO += in.Op.IOCost
+			childCPU += in.Op.CPUCost
+		}
+	}
+	self := card*(0.01+g.rng.Float64()*0.05) + 5
+	op.TotalCost = childCost + self
+	op.IOCost = childIO + extraIO + self/50
+	op.CPUCost = childCPU + self*2e4
+	op.FirstRow = op.TotalCost * (0.001 + g.rng.Float64()*0.01)
+	op.Buffers = op.IOCost * (0.5 + g.rng.Float64())
+}
+
+func (g *planGen) joinPredicate() string {
+	c := columnPool[g.rng.Intn(len(columnPool))]
+	return fmt.Sprintf("(Q%d.%s = Q%d.%s)", g.rng.Intn(9)+1, c, g.rng.Intn(9)+1, c)
+}
+
+func (g *planGen) localPredicate(obj *qep.BaseObject) string {
+	c := obj.Columns[g.rng.Intn(len(obj.Columns))]
+	return fmt.Sprintf("(Q%d.%s = %d)", g.rng.Intn(9)+1, c, g.rng.Intn(1000))
+}
+
+func (g *planGen) statement() string {
+	names := sortedObjectNames(g.plan)
+	stmt := "SELECT *\nFROM "
+	for i, n := range names {
+		if i > 0 {
+			stmt += ", "
+		}
+		if i >= 6 {
+			stmt += "..."
+			break
+		}
+		stmt += n
+	}
+	return stmt
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"sort"
+
+	"optimatch/internal/qep"
+)
+
+// graftSize returns the nominal operator count of a pattern graft, used to
+// reserve budget in the surrounding random tree.
+func graftSize(key string) int {
+	switch key {
+	case KeyA:
+		return 3
+	case KeyB:
+		return 11
+	case KeyC:
+		return 1
+	case KeyD:
+		return 2
+	case KeyG:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// graft builds a subtree that is a true instance of the canonical pattern,
+// returning its top operator. A fraction of the instances (HardFraction)
+// use the "hard" lexical rendering (exponent-notation numbers, uncommon
+// join-method variants) that trips up naive text search, per the error
+// classes the paper reports for manual search (Section 3.3).
+func (g *planGen) graft(key string) *qep.Operator {
+	hard := g.harder.decide(key)
+	switch key {
+	case KeyA:
+		return g.graftA(hard)
+	case KeyB:
+		return g.graftB(hard)
+	case KeyC:
+		return g.graftC(hard)
+	case KeyD:
+		return g.graftD(hard)
+	case KeyG:
+		return g.graftG(hard)
+	default:
+		panic("workload: unknown graft " + key)
+	}
+}
+
+// graftA: NLJOIN whose outer input has cardinality > 1 and whose inner
+// input is a TBSCAN with cardinality > 100 over a base object.
+func (g *planGen) graftA(hard bool) *qep.Operator {
+	// Outer: small index scan with cardinality > 1.
+	outerObj := g.newTable(1e4, 1e6)
+	outer := g.newOp("IXSCAN")
+	outerCard := 5 + g.rng.Float64()*50
+	g.plan.Link(outer, qep.GeneralStream, nil, outerObj, outerObj.Cardinality, g.qualCols(outerObj, 2))
+	g.cost(outer, outerCard, 2)
+
+	// Inner: full table scan with cardinality > 100. The hard variant uses a
+	// huge table so the cardinality renders in exponent notation.
+	var innerObj *qep.BaseObject
+	var innerCard float64
+	if hard {
+		innerObj = g.newTable(2e6, 4e8)
+		innerCard = innerObj.Cardinality * (0.8 + g.rng.Float64()*0.2)
+	} else {
+		innerObj = g.newTable(500, 50000)
+		innerCard = maxf(innerObj.Cardinality*(0.8+g.rng.Float64()*0.2), 101)
+	}
+	inner := g.newOp("TBSCAN")
+	g.plan.Link(inner, qep.GeneralStream, nil, innerObj, innerObj.Cardinality, g.qualCols(innerObj, 2))
+	g.cost(inner, innerCard, innerObj.Cardinality/2000)
+
+	nl := g.newOp("NLJOIN")
+	nl.Predicates = []string{g.joinPredicate()}
+	g.link(nl, qep.OuterStream, outer)
+	g.link(nl, qep.InnerStream, inner)
+	g.cost(nl, maxf(outerCard, 1), innerCard*outerCard/5e4)
+	return nl
+}
+
+// graftB: a join whose outer subtree contains a left-outer join and whose
+// inner subtree contains another left-outer join, both a few hops down so
+// that only descendant (recursive) matching finds them.
+func (g *planGen) graftB(hard bool) *qep.Operator {
+	lojType := func() string {
+		if hard {
+			// The hard variant uses merge-scan joins; a manual search that
+			// greps only for >HSJOIN / >NLJOIN misses it.
+			return "MSJOIN"
+		}
+		if g.rng.Float64() < 0.5 {
+			return "HSJOIN"
+		}
+		return "NLJOIN"
+	}
+
+	makeLOJ := func() *qep.Operator {
+		a := g.leafScan()
+		b := g.leafScan()
+		if b.Type == "TBSCAN" && b.Cardinality > 100 {
+			// Keep the inner side from accidentally forming Pattern A when
+			// the chosen join method is NLJOIN.
+			b.Type = "IXSCAN"
+		}
+		j := g.newOp(lojType())
+		j.JoinMod = qep.LeftOuterJoin
+		j.Predicates = []string{g.joinPredicate()}
+		g.link(j, qep.OuterStream, a)
+		g.link(j, qep.InnerStream, b)
+		g.cost(j, maxf(a.Cardinality, 1), 0)
+		return j
+	}
+	wrap := func(op *qep.Operator, typ string) *qep.Operator {
+		w := g.newOp(typ)
+		g.link(w, qep.GeneralStream, op)
+		g.cost(w, op.Cardinality, 0)
+		return w
+	}
+
+	left := wrap(makeLOJ(), "TEMP")
+	right := wrap(makeLOJ(), "TBSCAN")
+	top := g.newOp("NLJOIN")
+	top.Predicates = []string{g.joinPredicate()}
+	g.link(top, qep.OuterStream, left)
+	g.link(top, qep.InnerStream, right)
+	g.cost(top, maxf(left.Cardinality/2, 1), 0)
+	return top
+}
+
+// graftC: a scan estimating fewer than 0.001 rows out of a base object with
+// more than a million rows.
+func (g *planGen) graftC(hard bool) *qep.Operator {
+	obj := g.newTable(2e6, 5e8)
+	typ := "IXSCAN"
+	if g.rng.Float64() < 0.4 {
+		typ = "TBSCAN"
+	}
+	op := g.newOp(typ)
+	var card float64
+	if hard {
+		card = 1e-9 + g.rng.Float64()*9e-8 // renders as "1.3e-08"
+	} else {
+		card = 0.0001 + g.rng.Float64()*0.0008 // renders as "0.00052"
+	}
+	g.plan.Link(op, qep.GeneralStream, nil, obj, obj.Cardinality, g.qualCols(obj, 2))
+	g.cost(op, card, obj.Cardinality/10000)
+	op.Predicates = []string{g.localPredicate(obj), g.localPredicate(obj)}
+	return op
+}
+
+// graftD: a SORT whose I/O cost exceeds its input's (spill indicator).
+func (g *planGen) graftD(bool) *qep.Operator {
+	in := g.leafScan()
+	srt := g.newOp("SORT")
+	g.link(srt, qep.GeneralStream, in)
+	g.cost(srt, in.Cardinality, 0)
+	srt.IOCost = in.IOCost*1.5 + 100 // spill: strictly above the input
+	return srt
+}
+
+// graftG: a cartesian join — a join with NO predicates whose two inputs
+// each produce more than one row.
+func (g *planGen) graftG(bool) *qep.Operator {
+	a := g.multiRowScan()
+	b := g.multiRowScan()
+	j := g.newOp("NLJOIN")
+	// Deliberately no predicates: the cartesian product signature.
+	g.link(j, qep.OuterStream, a)
+	g.link(j, qep.InnerStream, b)
+	g.cost(j, a.Cardinality*b.Cardinality, 0)
+	return j
+}
+
+// multiRowScan builds a leaf scan guaranteed to produce more than one row
+// (and, for NLJOIN inners, avoids the Pattern A shape).
+func (g *planGen) multiRowScan() *qep.Operator {
+	obj := g.newTable(1e3, 1e5)
+	op := g.newOp("IXSCAN")
+	card := 2 + g.rng.Float64()*60
+	g.plan.Link(op, qep.GeneralStream, nil, obj, obj.Cardinality, g.qualCols(obj, 1))
+	g.cost(op, card, 1)
+	return op
+}
+
+// sortedObjectNames returns the plan's object names sorted, for
+// deterministic statement text.
+func sortedObjectNames(p *qep.Plan) []string {
+	names := make([]string, 0, len(p.Objects))
+	for n := range p.Objects {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

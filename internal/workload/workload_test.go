@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"optimatch/internal/pattern"
+	"optimatch/internal/qep"
+	"optimatch/internal/rdf"
+	"optimatch/internal/sparql"
+	"optimatch/internal/transform"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	w, err := Generate(Config{Seed: 1, NumPlans: 20, MinOps: 20, MaxOps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Plans) != 20 {
+		t.Fatalf("plans = %d", len(w.Plans))
+	}
+	ids := make(map[string]bool)
+	for _, p := range w.Plans {
+		if ids[p.ID] {
+			t.Errorf("duplicate plan id %s", p.ID)
+		}
+		ids[p.ID] = true
+		if err := p.Validate(); err != nil {
+			t.Errorf("plan %s invalid: %v", p.ID, err)
+		}
+		if p.NumOps() < 10 || p.NumOps() > 80 {
+			t.Errorf("plan %s ops = %d, far from target range", p.ID, p.NumOps())
+		}
+		if p.TotalCost <= 0 {
+			t.Errorf("plan %s total cost = %v", p.ID, p.TotalCost)
+		}
+		if p.Statement == "" {
+			t.Errorf("plan %s missing statement", p.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, NumPlans: 5, MinOps: 30, MaxOps: 50, InjectA: 2, InjectB: 1, InjectC: 1, InjectD: 1}
+	w1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := w1.Texts(), w2.Texts()
+	for id, txt := range t1 {
+		if t2[id] != txt {
+			t.Fatalf("plan %s text differs between runs with same seed", id)
+		}
+	}
+	for key := range w1.Truth {
+		if w1.Truth.Count(key) != w2.Truth.Count(key) {
+			t.Errorf("truth counts differ for %s", key)
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	w1, _ := Generate(Config{Seed: 1, NumPlans: 2, MinOps: 20, MaxOps: 30})
+	w2, _ := Generate(Config{Seed: 2, NumPlans: 2, MinOps: 20, MaxOps: 30})
+	if qep.Text(w1.Plans[0]) == qep.Text(w2.Plans[0]) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestGenerateInjectionCounts(t *testing.T) {
+	w, err := Generate(Config{Seed: 7, NumPlans: 100, MinOps: 30, MaxOps: 60,
+		InjectA: 15, InjectB: 12, InjectC: 18, InjectD: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string]int{KeyA: 15, KeyB: 12, KeyC: 18, KeyD: 9}
+	for key, want := range wants {
+		if got := w.Truth.Count(key); got != want {
+			t.Errorf("truth %s = %d, want %d", key, got, want)
+		}
+	}
+	// Truth refers to existing plan IDs.
+	ids := make(map[string]bool)
+	for _, p := range w.Plans {
+		ids[p.ID] = true
+	}
+	for key, m := range w.Truth {
+		for id := range m {
+			if !ids[id] {
+				t.Errorf("truth %s references unknown plan %s", key, id)
+			}
+		}
+	}
+}
+
+func TestGenerateOpCountTargets(t *testing.T) {
+	w, err := Generate(Config{Seed: 3, NumPlans: 6, OpCounts: []int{25, 125, 225}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range w.Plans {
+		target := []int{25, 125, 225}[i%3]
+		got := p.NumOps()
+		// The tree builder hits the budget approximately.
+		if got < target*6/10 || got > target*15/10 {
+			t.Errorf("plan %s ops = %d, target %d", p.ID, got, target)
+		}
+	}
+}
+
+func TestGenerateBimodal(t *testing.T) {
+	w, err := Generate(Config{Seed: 11, NumPlans: 60, MinOps: 60, MaxOps: 240, Bimodal: true, BigFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := 0
+	for _, p := range w.Plans {
+		if p.NumOps() > 400 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Error("bimodal workload has no big plans")
+	}
+	if big == len(w.Plans) {
+		t.Error("bimodal workload has only big plans")
+	}
+}
+
+func TestGeneratedPlansRoundTripThroughText(t *testing.T) {
+	w, err := Generate(Config{Seed: 5, NumPlans: 4, MinOps: 20, MaxOps: 50, InjectA: 1, InjectB: 1, InjectC: 1, InjectD: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range w.Plans {
+		text := qep.Text(p)
+		p2, err := qep.Parse(text)
+		if err != nil {
+			t.Fatalf("plan %s does not re-parse: %v", p.ID, err)
+		}
+		if p2.NumOps() != p.NumOps() {
+			t.Errorf("plan %s ops after round trip = %d, want %d", p.ID, p2.NumOps(), p.NumOps())
+		}
+		if p2.Root.ID != p.Root.ID {
+			t.Errorf("plan %s root changed", p.ID)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, NumPlans: 0}); err == nil {
+		t.Error("zero plans accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, NumPlans: 5, MinOps: 50, MaxOps: 40}); err == nil {
+		t.Error("bad range accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, NumPlans: 2, InjectA: 5}); err == nil {
+		t.Error("oversized injection accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, NumPlans: 2, OpCounts: []int{1}}); err == nil {
+		t.Error("tiny op count accepted")
+	}
+}
+
+// matchCount runs a compiled canonical pattern against a plan and reports
+// whether it matches at all.
+func planMatches(t *testing.T, c *pattern.Compiled, p *qep.Plan) bool {
+	t.Helper()
+	r := transform.Transform(p)
+	q, err := sparql.Parse(c.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Exec(r.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Len() > 0
+}
+
+// TestInjectionExactness is the central soundness check of the experimental
+// substrate: OptImatch's matcher must find exactly the injected plans — no
+// false positives from the random plan fabric, no misses.
+func TestInjectionExactness(t *testing.T) {
+	w, err := Generate(Config{Seed: 99, NumPlans: 40, MinOps: 30, MaxOps: 90,
+		InjectA: 8, InjectB: 7, InjectC: 9, InjectD: 6, InjectG: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := map[string]*pattern.Compiled{}
+	for key, p := range map[string]*pattern.Pattern{
+		KeyA: pattern.A(), KeyB: pattern.B(), KeyC: pattern.C(), KeyD: pattern.D(), KeyG: pattern.G(),
+	} {
+		c, err := pattern.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled[key] = c
+	}
+	for _, plan := range w.Plans {
+		for key, c := range compiled {
+			got := planMatches(t, c, plan)
+			want := w.Truth.Has(key, plan.ID)
+			if got != want {
+				t.Errorf("plan %s pattern %s: matched=%v, injected=%v", plan.ID, key, got, want)
+			}
+		}
+	}
+}
+
+func TestHardFractionProducesExponentForms(t *testing.T) {
+	w, err := Generate(Config{Seed: 13, NumPlans: 30, MinOps: 20, MaxOps: 40,
+		InjectC: 30, HardFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, easy := 0, 0
+	for _, p := range w.Plans {
+		text := qep.Text(p)
+		// Hard Pattern C instances render the collapsed cardinality in
+		// exponent notation; easy ones in plain decimal.
+		if strings.Contains(text, "e-0") {
+			hard++
+		} else if strings.Contains(text, "Estimated Cardinality:\t\t0.000") {
+			easy++
+		}
+	}
+	if hard == 0 || easy == 0 {
+		t.Errorf("hard=%d easy=%d; want a mix", hard, easy)
+	}
+}
+
+func TestTruthHelpers(t *testing.T) {
+	tr := Truth{KeyA: {"Q1": true}}
+	if !tr.Has(KeyA, "Q1") || tr.Has(KeyA, "Q2") || tr.Has(KeyB, "Q1") {
+		t.Error("Truth.Has wrong")
+	}
+	if tr.Count(KeyA) != 1 || tr.Count(KeyB) != 0 {
+		t.Error("Truth.Count wrong")
+	}
+}
+
+var _ = rdf.NoID // keep the import for helper expansion in future tests
