@@ -10,6 +10,7 @@ package optimatch
 //	go test -bench=. -benchmem
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -79,6 +80,79 @@ func fig9Config(size int) workload.Config {
 		Seed: 2016, NumPlans: size, MinOps: 60, MaxOps: 240,
 		InjectA: size * 15 / 100, InjectB: size * 12 / 100, InjectC: size * 18 / 100,
 	}
+}
+
+// renderReports serializes KB reports canonically so two engine
+// configurations can be compared byte for byte.
+func renderReports(reports []core.PlanReport) string {
+	var sb strings.Builder
+	for i := range reports {
+		fmt.Fprintf(&sb, "%s: %s\n", reports[i].Plan.ID, reports[i].Message())
+		for _, rec := range reports[i].Recommendations {
+			fmt.Fprintf(&sb, "  [%s %.6f] %s: %s\n",
+				rec.Entry.Name, rec.Confidence, rec.Recommendation.Title, rec.Text)
+		}
+	}
+	return sb.String()
+}
+
+// BenchmarkFigure8KBScan measures the workload-scale knowledge-base scan on
+// the full 1000-plan configuration (the paper's Figure 8 recommendation run)
+// under three engine configurations:
+//
+//	accelerated    — vocabulary prefilter + per-graph query specialization
+//	prefilter-only — vocabulary prefilter, legacy term-space evaluator
+//	baseline       — WithPrefilter(false): no prefilter, legacy evaluator
+//
+// Setup verifies once that accelerated and baseline produce byte-identical
+// reports; the benchmark then times each configuration.
+func BenchmarkFigure8KBScan(b *testing.B) {
+	rs, _ := benchResults(b, fig9Config(1000))
+	k := kb.MustExtended()
+	build := func(opts ...core.Option) *core.Engine {
+		e := core.New(opts...)
+		for _, r := range rs {
+			if err := e.LoadResult(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return e
+	}
+	fast := build()
+	mid := build(core.WithExecOptions(sparql.ExecOptions{DisableSpecialization: true}))
+	slow := build(core.WithPrefilter(false))
+
+	fastReports, err := fast.RunKB(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slowReports, err := slow.RunKB(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if renderReports(fastReports) != renderReports(slowReports) {
+		b.Fatal("accelerated and baseline KB reports differ")
+	}
+
+	for _, cfg := range []struct {
+		name string
+		eng  *core.Engine
+	}{
+		{"accelerated", fast},
+		{"prefilter-only", mid},
+		{"baseline", slow},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.eng.RunKB(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	stats := fast.PrefilterStats()
+	b.Logf("prefilter: probed %d pairs, skipped %d", stats.Probed, stats.Skipped)
 }
 
 // BenchmarkFigure9WorkloadSize regenerates Figure 9: pattern search time as

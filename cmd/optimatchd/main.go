@@ -32,14 +32,18 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		load     = flag.String("load", "", "directory of explain files to load at start")
-		kbFile   = flag.String("kb", "", "knowledge base JSON (default: built-in canonical patterns)")
-		extended = flag.Bool("extended", false, "use the extended built-in knowledge base (patterns E-G)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		load      = flag.String("load", "", "directory of explain files to load at start")
+		kbFile    = flag.String("kb", "", "knowledge base JSON (default: built-in canonical patterns)")
+		extended  = flag.Bool("extended", false, "use the extended built-in knowledge base (patterns E-G)")
+		workers   = flag.Int("workers", 0, "matcher worker-pool size (default: GOMAXPROCS)")
+		prefilter = flag.Bool("prefilter", true, "vocabulary prefilter + per-graph query specialization")
 	)
 	flag.Parse()
 
-	eng := core.New()
+	// The engine caches parsed queries, so repeated searches over the API
+	// skip the SPARQL parser entirely.
+	eng := core.New(core.WithWorkers(*workers), core.WithPrefilter(*prefilter))
 	if *load != "" {
 		n, err := eng.LoadDir(*load)
 		if err != nil {

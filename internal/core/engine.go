@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"optimatch/internal/kb"
 	"optimatch/internal/pattern"
@@ -48,6 +49,15 @@ func WithExecOptions(opts sparql.ExecOptions) Option {
 	return func(e *Engine) { e.execOpts = opts }
 }
 
+// WithPrefilter toggles the workload-scale acceleration path (default on).
+// When disabled, the engine evaluates every (plan, query) pair with the
+// baseline evaluator: no vocabulary prefilter and no per-graph query
+// specialization. This is the single ablation switch the benchmarks use to
+// measure the acceleration end to end; results are identical either way.
+func WithPrefilter(enabled bool) Option {
+	return func(e *Engine) { e.prefilter = enabled }
+}
+
 // Engine holds a workload of transformed plans and matches patterns against
 // it.
 type Engine struct {
@@ -56,18 +66,36 @@ type Engine struct {
 	byID     map[string]*transform.Result
 	workers  int
 	execOpts sparql.ExecOptions
+
+	prefilter bool
+	pfProbed  atomic.Int64
+	pfSkipped atomic.Int64
+
+	queries queryCache
 }
 
 // New returns an empty engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		byID:    make(map[string]*transform.Result),
-		workers: runtime.GOMAXPROCS(0),
+		byID:      make(map[string]*transform.Result),
+		workers:   runtime.GOMAXPROCS(0),
+		prefilter: true,
 	}
 	for _, o := range opts {
 		o(e)
 	}
 	return e
+}
+
+// evalOpts returns the SPARQL evaluation options in effect: disabling the
+// prefilter also pins evaluation to the unspecialized baseline so
+// WithPrefilter(false) ablates the whole acceleration path at once.
+func (e *Engine) evalOpts() sparql.ExecOptions {
+	opts := e.execOpts
+	if !e.prefilter {
+		opts.DisableSpecialization = true
+	}
+	return opts
 }
 
 // LoadPlan transforms and registers a parsed plan.
@@ -238,33 +266,27 @@ func (e *Engine) FindCompiled(c *pattern.Compiled) ([]Match, error) {
 // FindSPARQL matches a raw SPARQL query against every loaded plan. Every
 // projected column becomes a binding; resources are de-transformed.
 func (e *Engine) FindSPARQL(query string) ([]Match, error) {
-	q, err := sparql.Parse(query)
+	q, err := e.queries.get(query)
 	if err != nil {
 		return nil, err
 	}
+	analysis := q.Analysis()
 	e.mu.RLock()
 	plans := append([]*transform.Result(nil), e.plans...)
 	e.mu.RUnlock()
 
 	type chunk struct {
-		idx     int
 		matches []Match
 		err     error
 	}
 	results := make([]chunk, len(plans))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers)
-	for i, r := range plans {
-		wg.Add(1)
-		go func(i int, r *transform.Result) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ms, err := e.matchPlan(q, r)
-			results[i] = chunk{idx: i, matches: ms, err: err}
-		}(i, r)
-	}
-	wg.Wait()
+	e.forEachPlan(plans, func(i int, r *transform.Result) {
+		if !e.mayMatch(analysis, r) {
+			return
+		}
+		ms, err := e.matchPlan(q, r)
+		results[i] = chunk{matches: ms, err: err}
+	})
 
 	var out []Match
 	for _, c := range results {
@@ -277,15 +299,16 @@ func (e *Engine) FindSPARQL(query string) ([]Match, error) {
 }
 
 func (e *Engine) matchPlan(q *sparql.Query, r *transform.Result) ([]Match, error) {
-	res, err := q.ExecOpts(r.Graph, e.execOpts)
+	res, err := q.ExecOpts(r.Graph, e.evalOpts())
 	if err != nil {
 		return nil, fmt.Errorf("core: plan %s: %w", r.Plan.ID, err)
 	}
 	var out []Match
 	for i := 0; i < res.Len(); i++ {
 		m := Match{Plan: r.Plan}
-		for _, v := range res.Vars {
-			t := res.Get(i, v)
+		m.Bindings = make([]Binding, 0, len(res.Vars))
+		for c, v := range res.Vars {
+			t := res.At(i, c)
 			m.Bindings = append(m.Bindings, Binding{
 				Alias:    v,
 				Term:     t,
@@ -324,14 +347,14 @@ func (pr *PlanReport) Message() string {
 // context through the handler tags, and the results are ranked by
 // statistical confidence. Reports come back in plan load order.
 func (e *Engine) RunKB(k *kb.KnowledgeBase) ([]PlanReport, error) {
-	// Parse every entry query once.
+	// Parse every entry query once (cached across RunKB calls).
 	entries := make([]compiledEntry, 0, k.Len())
 	for _, entry := range k.Entries() {
-		q, err := sparql.Parse(entry.SPARQL)
+		q, err := e.queries.get(entry.SPARQL)
 		if err != nil {
 			return nil, fmt.Errorf("core: kb entry %q: %w", entry.Name, err)
 		}
-		entries = append(entries, compiledEntry{entry: entry, query: q})
+		entries = append(entries, compiledEntry{entry: entry, query: q, analysis: q.Analysis()})
 	}
 
 	e.mu.RLock()
@@ -340,18 +363,9 @@ func (e *Engine) RunKB(k *kb.KnowledgeBase) ([]PlanReport, error) {
 
 	reports := make([]PlanReport, len(plans))
 	errs := make([]error, len(plans))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers)
-	for i, r := range plans {
-		wg.Add(1)
-		go func(i int, r *transform.Result) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			reports[i], errs[i] = e.planReport(entries, r)
-		}(i, r)
-	}
-	wg.Wait()
+	e.forEachPlan(plans, func(i int, r *transform.Result) {
+		reports[i], errs[i] = e.planReport(entries, r)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -360,10 +374,12 @@ func (e *Engine) RunKB(k *kb.KnowledgeBase) ([]PlanReport, error) {
 	return reports, nil
 }
 
-// compiledEntry pairs a knowledge-base entry with its parsed query.
+// compiledEntry pairs a knowledge-base entry with its parsed query and the
+// query's static analysis (for the prefilter probe).
 type compiledEntry struct {
-	entry *kb.Entry
-	query *sparql.Query
+	entry    *kb.Entry
+	query    *sparql.Query
+	analysis *sparql.Analysis
 }
 
 // planReport matches every knowledge-base entry against one plan and
@@ -371,7 +387,10 @@ type compiledEntry struct {
 func (e *Engine) planReport(entries []compiledEntry, r *transform.Result) (PlanReport, error) {
 	report := PlanReport{Plan: r.Plan}
 	for _, ce := range entries {
-		res, err := ce.query.ExecOpts(r.Graph, e.execOpts)
+		if !e.mayMatch(ce.analysis, r) {
+			continue
+		}
+		res, err := ce.query.ExecOpts(r.Graph, e.evalOpts())
 		if err != nil {
 			return report, fmt.Errorf("core: plan %s, entry %s: %w", r.Plan.ID, ce.entry.Name, err)
 		}
@@ -381,8 +400,8 @@ func (e *Engine) planReport(entries []compiledEntry, r *transform.Result) (PlanR
 		occs := make([]kb.Occurrence, 0, res.Len())
 		for i := 0; i < res.Len(); i++ {
 			bind := make(map[string]rdf.Term, len(res.Vars))
-			for _, v := range res.Vars {
-				bind[v] = res.Get(i, v)
+			for c, v := range res.Vars {
+				bind[v] = res.At(i, c)
 			}
 			occs = append(occs, kb.Occurrence{Plan: r.Plan, Result: r, Bindings: bind})
 		}

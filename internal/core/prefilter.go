@@ -1,0 +1,124 @@
+// Workload-scale match prefiltering. Every loaded plan's RDF graph interns
+// its full term vocabulary in its dictionary, and the static analysis of a
+// query (sparql.Analysis) names the constant terms any matching graph must
+// contain. Probing the vocabulary for those required terms is a handful of
+// O(1) set lookups, so the engine can discard a (plan, query) pair without
+// paying for SPARQL evaluation whenever a required term is missing — the
+// common case when scanning a large workload against a knowledge base whose
+// entries each match a small fraction of plans.
+package core
+
+import (
+	"sync"
+
+	"optimatch/internal/sparql"
+	"optimatch/internal/transform"
+)
+
+// PrefilterStats reports the cumulative effect of the vocabulary prefilter
+// on an engine since construction.
+type PrefilterStats struct {
+	// Probed counts (plan, query) pairs the prefilter inspected.
+	Probed int64
+	// Skipped counts pairs discarded without evaluation because the plan's
+	// vocabulary misses a required constant of the query.
+	Skipped int64
+}
+
+// PrefilterStats returns a snapshot of the prefilter counters. With the
+// prefilter disabled both counters stay zero.
+func (e *Engine) PrefilterStats() PrefilterStats {
+	return PrefilterStats{
+		Probed:  e.pfProbed.Load(),
+		Skipped: e.pfSkipped.Load(),
+	}
+}
+
+// mayMatch reports whether the plan's graph can possibly match the analyzed
+// query. It never returns false for a plan with at least one match (the
+// prefilter property test asserts this over generated workloads).
+func (e *Engine) mayMatch(a *sparql.Analysis, r *transform.Result) bool {
+	if !e.prefilter {
+		return true
+	}
+	e.pfProbed.Add(1)
+	if a.RequiredIn(r.Graph) {
+		return true
+	}
+	e.pfSkipped.Add(1)
+	return false
+}
+
+// forEachPlan runs fn over the plans on the engine's bounded worker pool.
+// Unlike a goroutine-per-plan fan-out, a workload of thousands of plans
+// costs a fixed number of goroutines pulling indexes from a channel.
+func (e *Engine) forEachPlan(plans []*transform.Result, fn func(i int, r *transform.Result)) {
+	workers := e.workers
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers <= 1 {
+		for i, r := range plans {
+			fn(i, r)
+		}
+		return
+	}
+	idx := make(chan int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i, plans[i])
+			}
+		}()
+	}
+	for i := range plans {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// maxCachedQueries bounds the engine's parse-once query cache; beyond it an
+// arbitrary entry is evicted (the cache is a recency-free map: workloads
+// re-run a small set of pattern and knowledge-base queries, so anything
+// resembling LRU would be overkill).
+const maxCachedQueries = 256
+
+// queryCache memoizes parsed queries by their text so repeated requests —
+// an optimatchd client re-running a search, or every RunKB call re-scanning
+// the same knowledge base — skip the parser. Parsed queries are immutable
+// (their static analysis is pre-computed) and safe to share across
+// concurrent evaluations.
+type queryCache struct {
+	mu sync.Mutex
+	m  map[string]*sparql.Query
+}
+
+func (c *queryCache) get(text string) (*sparql.Query, error) {
+	c.mu.Lock()
+	q, ok := c.m[text]
+	c.mu.Unlock()
+	if ok {
+		return q, nil
+	}
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*sparql.Query)
+	}
+	if len(c.m) >= maxCachedQueries {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[text] = q
+	return q, nil
+}

@@ -15,8 +15,18 @@ type Graph struct {
 	pos map[ID]map[ID][]ID // predicate -> object -> subjects
 	osp map[ID]map[ID][]ID // object -> subject -> predicates
 
+	// spoSets shadows large SPO buckets with a membership set so that bulk
+	// loading stays linear per bucket; small buckets keep the plain slice
+	// scan. The slices above remain the iteration source for Match, so
+	// insertion order is preserved either way.
+	spoSets map[[2]ID]map[ID]struct{}
+
 	size int
 }
+
+// dupSetThreshold is the SPO bucket size above which duplicate detection
+// switches from a linear slice scan to a set probe.
+const dupSetThreshold = 16
 
 // NewGraph returns an empty graph with a fresh dictionary.
 func NewGraph() *Graph {
@@ -53,9 +63,27 @@ func (g *Graph) AddIDs(s, p, o ID) bool {
 		g.spo[s] = ps
 	}
 	objs := ps[p]
-	for _, existing := range objs {
-		if existing == o {
+	if set, ok := g.spoSets[[2]ID{s, p}]; ok {
+		if _, dup := set[o]; dup {
 			return false
+		}
+		set[o] = struct{}{}
+	} else {
+		for _, existing := range objs {
+			if existing == o {
+				return false
+			}
+		}
+		if len(objs)+1 > dupSetThreshold {
+			set := make(map[ID]struct{}, 2*len(objs))
+			for _, existing := range objs {
+				set[existing] = struct{}{}
+			}
+			set[o] = struct{}{}
+			if g.spoSets == nil {
+				g.spoSets = make(map[[2]ID]map[ID]struct{})
+			}
+			g.spoSets[[2]ID{s, p}] = set
 		}
 	}
 	ps[p] = append(objs, o)
@@ -89,6 +117,10 @@ func (g *Graph) Has(s, p, o Term) bool {
 
 // HasIDs reports whether the fully bound triple is in the graph.
 func (g *Graph) HasIDs(s, p, o ID) bool {
+	if set, ok := g.spoSets[[2]ID{s, p}]; ok {
+		_, present := set[o]
+		return present
+	}
 	for _, existing := range g.spo[s][p] {
 		if existing == o {
 			return true

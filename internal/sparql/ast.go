@@ -27,6 +27,10 @@ type Query struct {
 	OrderBy  []OrderKey
 	Limit    int // -1 when absent
 	Offset   int // 0 when absent
+
+	// analysis memoizes the static query analysis (see Analysis). Parse
+	// fills it in so parsed queries can be shared across goroutines.
+	analysis *Analysis
 }
 
 // SelectItem is one projection: an expression (usually a plain variable)

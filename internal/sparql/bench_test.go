@@ -62,7 +62,7 @@ func BenchmarkPathClosure(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		count := 0
-		evalPath(g, path, start, rdf.NoID, func(_, _ rdf.ID) bool { count++; return true })
+		evalPath(&pathEnv{g: g}, path, start, rdf.NoID, func(_, _ rdf.ID) bool { count++; return true })
 		if count != depth {
 			b.Fatalf("count = %d", count)
 		}

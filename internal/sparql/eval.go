@@ -15,6 +15,14 @@ type ExecOptions struct {
 	// for basic graph patterns; patterns evaluate in textual order. Used by
 	// the ablation benchmarks.
 	DisableReorder bool
+
+	// DisableSpecialization turns off per-graph query specialization: the
+	// required-constant bail-out, the one-shot resolution of the query's
+	// constant terms to the graph's dense IDs, and the ID-space solution
+	// representation. Evaluation falls back to the term-space path, which
+	// re-resolves terms against the dictionary as it goes. Used by the
+	// ablation benchmarks; results are identical either way.
+	DisableSpecialization bool
 }
 
 // Results is a solution table: one row per solution, one column per
@@ -41,8 +49,15 @@ func (r *Results) Column(name string) int {
 // Get returns the binding of column name in row i (zero Term when unbound or
 // the column does not exist).
 func (r *Results) Get(i int, name string) rdf.Term {
-	c := r.Column(name)
-	if c < 0 || i < 0 || i >= len(r.Rows) {
+	return r.At(i, r.Column(name))
+}
+
+// At returns the binding at row i, column c (zero Term when out of range).
+// Callers iterating whole result sets should resolve each column index once
+// with Column and use At per cell, instead of paying Get's per-cell scan of
+// the variable list.
+func (r *Results) At(i, c int) rdf.Term {
+	if c < 0 || c >= len(r.Vars) || i < 0 || i >= len(r.Rows) {
 		return rdf.Term{}
 	}
 	return r.Rows[i][c]
@@ -55,6 +70,9 @@ func (q *Query) Exec(g *rdf.Graph) (*Results, error) {
 
 // ExecOpts evaluates the query against g.
 func (q *Query) ExecOpts(g *rdf.Graph, opts ExecOptions) (*Results, error) {
+	if !opts.DisableSpecialization {
+		return q.execSpecialized(g, opts)
+	}
 	ctx := newEvalCtx(g, q, opts)
 	seed := []solution{ctx.emptySolution()}
 	sols, err := ctx.evalGroup(q.Where, seed)
@@ -645,7 +663,7 @@ func (ctx *evalCtx) extendTriple(tp TriplePattern, sols []solution) ([]solution,
 				})
 			} else {
 				seen := make(map[[2]rdf.ID]bool)
-				evalPath(g, predPath, sid, oid, func(ms, mo rdf.ID) bool {
+				evalPath(&pathEnv{g: g}, predPath, sid, oid, func(ms, mo rdf.ID) bool {
 					key := [2]rdf.ID{ms, mo}
 					if seen[key] {
 						return true

@@ -22,6 +22,7 @@ func Parse(input string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	q.Analysis() // pre-compute so the query is safe to share across goroutines
 	return q, nil
 }
 

@@ -2,18 +2,37 @@ package sparql
 
 import "optimatch/internal/rdf"
 
+// pathEnv carries the graph a property path evaluates against plus an
+// optional predicate-IRI resolver. The specialized evaluator installs a
+// memoized resolver so closure walks (which re-resolve the inner predicate
+// on every BFS step) hit a per-evaluation cache instead of hashing the IRI
+// against the dictionary each time; with a nil resolver the dictionary is
+// consulted directly.
+type pathEnv struct {
+	g    *rdf.Graph
+	pred func(iri string) rdf.ID
+}
+
+func (e *pathEnv) predID(iri string) rdf.ID {
+	if e.pred != nil {
+		return e.pred(iri)
+	}
+	return e.g.Dict().Lookup(rdf.IRI(iri))
+}
+
 // evalPath emits every (subject, object) pair connected by the property path
-// p in graph g. A rdf.NoID endpoint is a wildcard; a non-NoID endpoint
+// p in graph env.g. A rdf.NoID endpoint is a wildcard; a non-NoID endpoint
 // constrains that side. emit returns false to stop the enumeration; evalPath
 // returns false when it was stopped early.
 //
 // Closure paths (`+`, `*`) are evaluated with breadth-first search and set
 // semantics (each reachable pair is emitted once per start node), matching
 // SPARQL 1.1 arbitrary-length path semantics.
-func evalPath(g *rdf.Graph, p Path, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
+func evalPath(env *pathEnv, p Path, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
+	g := env.g
 	switch p := p.(type) {
 	case PredPath:
-		pid := g.Dict().Lookup(rdf.IRI(p.IRI))
+		pid := env.predID(p.IRI)
 		if pid == rdf.NoID {
 			return true // predicate absent from graph: zero matches
 		}
@@ -27,39 +46,39 @@ func evalPath(g *rdf.Graph, p Path, s, o rdf.ID, emit func(s, o rdf.ID) bool) bo
 		})
 		return cont
 	case InvPath:
-		return evalPath(g, p.Inner, o, s, func(a, b rdf.ID) bool { return emit(b, a) })
+		return evalPath(env, p.Inner, o, s, func(a, b rdf.ID) bool { return emit(b, a) })
 	case SeqPath:
-		return evalSeq(g, p.Parts, s, o, emit)
+		return evalSeq(env, p.Parts, s, o, emit)
 	case AltPath:
 		for _, alt := range p.Alts {
-			if !evalPath(g, alt, s, o, emit) {
+			if !evalPath(env, alt, s, o, emit) {
 				return false
 			}
 		}
 		return true
 	case ModPath:
-		return evalMod(g, p, s, o, emit)
+		return evalMod(env, p, s, o, emit)
 	default:
 		// predVarPath is handled by the evaluator before reaching here.
 		panic("sparql: evalPath on unsupported path type")
 	}
 }
 
-func evalSeq(g *rdf.Graph, parts []Path, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
+func evalSeq(env *pathEnv, parts []Path, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
 	if len(parts) == 1 {
-		return evalPath(g, parts[0], s, o, emit)
+		return evalPath(env, parts[0], s, o, emit)
 	}
 	if s != rdf.NoID || o == rdf.NoID {
 		// Evaluate left to right; dedupe (start, mid) pairs so diamond
 		// shapes do not explode.
 		seen := make(map[[2]rdf.ID]bool)
-		return evalPath(g, parts[0], s, rdf.NoID, func(start, mid rdf.ID) bool {
+		return evalPath(env, parts[0], s, rdf.NoID, func(start, mid rdf.ID) bool {
 			key := [2]rdf.ID{start, mid}
 			if seen[key] {
 				return true
 			}
 			seen[key] = true
-			return evalSeq(g, parts[1:], mid, o, func(_, end rdf.ID) bool {
+			return evalSeq(env, parts[1:], mid, o, func(_, end rdf.ID) bool {
 				return emit(start, end)
 			})
 		})
@@ -67,28 +86,28 @@ func evalSeq(g *rdf.Graph, parts []Path, s, o rdf.ID, emit func(s, o rdf.ID) boo
 	// Only the object side is bound: evaluate right to left.
 	last := parts[len(parts)-1]
 	seen := make(map[[2]rdf.ID]bool)
-	return evalPath(g, last, rdf.NoID, o, func(mid, end rdf.ID) bool {
+	return evalPath(env, last, rdf.NoID, o, func(mid, end rdf.ID) bool {
 		key := [2]rdf.ID{mid, end}
 		if seen[key] {
 			return true
 		}
 		seen[key] = true
-		return evalSeq(g, parts[:len(parts)-1], rdf.NoID, mid, func(start, _ rdf.ID) bool {
+		return evalSeq(env, parts[:len(parts)-1], rdf.NoID, mid, func(start, _ rdf.ID) bool {
 			return emit(start, end)
 		})
 	})
 }
 
-func evalMod(g *rdf.Graph, p ModPath, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
+func evalMod(env *pathEnv, p ModPath, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
 	switch p.Mod {
 	case ModZeroOrOne:
 		// Zero-length component.
-		if !emitZeroLength(g, s, o, emit) {
+		if !emitZeroLength(env.g, s, o, emit) {
 			return false
 		}
 		// One-step component, skipping pairs the zero-length part already
 		// produced (x -> x).
-		return evalPath(g, p.Inner, s, o, func(a, b rdf.ID) bool {
+		return evalPath(env, p.Inner, s, o, func(a, b rdf.ID) bool {
 			if a == b {
 				return true
 			}
@@ -98,16 +117,16 @@ func evalMod(g *rdf.Graph, p ModPath, s, o rdf.ID, emit func(s, o rdf.ID) bool) 
 		includeZero := p.Mod == ModZeroOrMore
 		switch {
 		case s != rdf.NoID:
-			return closure(g, p.Inner, s, o, includeZero, false, emit)
+			return closure(env, p.Inner, s, o, includeZero, false, emit)
 		case o != rdf.NoID:
 			// Walk backwards from the object.
-			return closure(g, p.Inner, o, s, includeZero, true, func(a, b rdf.ID) bool {
+			return closure(env, p.Inner, o, s, includeZero, true, func(a, b rdf.ID) bool {
 				return emit(b, a)
 			})
 		default:
 			// Both ends unbound: run a closure from every node.
-			for _, start := range allNodes(g) {
-				if !closure(g, p.Inner, start, rdf.NoID, includeZero, false, emit) {
+			for _, start := range allNodes(env.g) {
+				if !closure(env, p.Inner, start, rdf.NoID, includeZero, false, emit) {
 					return false
 				}
 			}
@@ -145,7 +164,7 @@ func emitZeroLength(g *rdf.Graph, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool
 // the inner path edges are followed in reverse. Pairs (start, reached) are
 // emitted once each; when other is non-NoID only the matching pair is
 // emitted (but the whole reachable set is still explored until found).
-func closure(g *rdf.Graph, inner Path, start, other rdf.ID, includeZero, backward bool, emit func(s, o rdf.ID) bool) bool {
+func closure(env *pathEnv, inner Path, start, other rdf.ID, includeZero, backward bool, emit func(s, o rdf.ID) bool) bool {
 	// emittedStart tracks whether the (start, start) pair has been produced:
 	// by the zero-length component for `*`, or — for `+` — by a cycle back
 	// to the start node found during the walk.
@@ -162,9 +181,9 @@ func closure(g *rdf.Graph, inner Path, start, other rdf.ID, includeZero, backwar
 	frontier := []rdf.ID{start}
 	step := func(from rdf.ID, fn func(to rdf.ID) bool) bool {
 		if backward {
-			return evalPath(g, inner, rdf.NoID, from, func(a, _ rdf.ID) bool { return fn(a) })
+			return evalPath(env, inner, rdf.NoID, from, func(a, _ rdf.ID) bool { return fn(a) })
 		}
-		return evalPath(g, inner, from, rdf.NoID, func(_, b rdf.ID) bool { return fn(b) })
+		return evalPath(env, inner, from, rdf.NoID, func(_, b rdf.ID) bool { return fn(b) })
 	}
 	for len(frontier) > 0 {
 		var next []rdf.ID

@@ -124,7 +124,7 @@ func refNodes(g *rdf.Graph) []rdf.ID {
 // may emit duplicates which the engine dedupes at extendTriple level).
 func collectPath(g *rdf.Graph, p Path, s, o rdf.ID) [][2]rdf.ID {
 	set := map[[2]rdf.ID]bool{}
-	evalPath(g, p, s, o, func(ms, mo rdf.ID) bool {
+	evalPath(&pathEnv{g: g}, p, s, o, func(ms, mo rdf.ID) bool {
 		set[[2]rdf.ID{ms, mo}] = true
 		return true
 	})
@@ -254,7 +254,7 @@ func TestPathEarlyStop(t *testing.T) {
 	}
 	for _, p := range paths {
 		total := 0
-		evalPath(g, p, rdf.NoID, rdf.NoID, func(_, _ rdf.ID) bool {
+		evalPath(&pathEnv{g: g}, p, rdf.NoID, rdf.NoID, func(_, _ rdf.ID) bool {
 			total++
 			return true
 		})
@@ -262,7 +262,7 @@ func TestPathEarlyStop(t *testing.T) {
 			continue // nothing to stop early on
 		}
 		calls := 0
-		stopped := evalPath(g, p, rdf.NoID, rdf.NoID, func(_, _ rdf.ID) bool {
+		stopped := evalPath(&pathEnv{g: g}, p, rdf.NoID, rdf.NoID, func(_, _ rdf.ID) bool {
 			calls++
 			return calls < 2
 		})
