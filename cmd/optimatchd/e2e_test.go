@@ -1,0 +1,271 @@
+//go:build e2e
+
+// End-to-end crash-recovery test: builds the real optimatchd binary, runs
+// it against a durable store, SIGKILLs it in the middle of an upload
+// stream, restarts it, and checks that every acknowledged mutation
+// survived. Kept behind the e2e build tag because it execs a built binary;
+// CI runs it as its own step (go test -tags e2e ./cmd/optimatchd).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"optimatch/internal/kb"
+	"optimatch/internal/pattern"
+	"optimatch/internal/workload"
+)
+
+// buildDaemon compiles optimatchd into a temp dir once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "optimatchd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building optimatchd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr grabs an ephemeral localhost port for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startDaemon launches the binary and waits until /healthz answers.
+func startDaemon(t *testing.T, bin, addr, data string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	var logs bytes.Buffer
+	cmd := exec.Command(bin, "-addr", addr, "-data", data)
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, &logs
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatalf("daemon never became healthy; logs:\n%s", logs.String())
+	return nil, nil
+}
+
+func listPlanIDs(t *testing.T, addr string) []string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/api/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var plans []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&plans); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, len(plans))
+	for _, p := range plans {
+		ids = append(ids, p.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func TestCrashRecoveryE2E(t *testing.T) {
+	bin := buildDaemon(t)
+	data := filepath.Join(t.TempDir(), "data")
+	addr := freeAddr(t)
+
+	wl, err := workload.Generate(workload.Config{Seed: 5, NumPlans: 24, MinOps: 12, MaxOps: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := wl.Texts()
+	ids := make([]string, 0, len(texts))
+	for id := range texts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	cmd, logs := startDaemon(t, bin, addr, data)
+
+	// A knowledge-base mutation that must survive the crash.
+	entryReq, err := json.Marshal(struct {
+		Pattern         *pattern.Pattern    `json:"pattern"`
+		Recommendations []kb.Recommendation `json:"recommendations"`
+	}{pattern.F(), []kb.Recommendation{{
+		Title: "review CSE", Template: "check @TOP shared by @CONSUMER2 and @CONSUMER3",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/api/kb/entries", "application/json", bytes.NewReader(entryReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("kb entry: status %d", resp.StatusCode)
+	}
+
+	// Hammer plan uploads from a goroutine and SIGKILL the daemon once a
+	// batch has been acknowledged — mid-stream, with uploads in flight.
+	var (
+		mu    sync.Mutex
+		acked []string
+	)
+	uploadsDone := make(chan struct{})
+	go func() {
+		defer close(uploadsDone)
+		for _, id := range ids {
+			resp, err := http.Post("http://"+addr+"/api/plans", "text/plain", strings.NewReader(texts[id]))
+			if err != nil {
+				return // the daemon died under us — expected
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				return
+			}
+			mu.Lock()
+			acked = append(acked, id)
+			mu.Unlock()
+		}
+	}()
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 10 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no shutdown hooks
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	<-uploadsDone
+	mu.Lock()
+	want := append([]string(nil), acked...)
+	mu.Unlock()
+	sort.Strings(want)
+	t.Logf("killed daemon with %d acknowledged uploads", len(want))
+
+	// Restart over the same directory: every acknowledged plan and the KB
+	// entry must be served again.
+	cmd2, logs2 := startDaemon(t, bin, addr, data)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	got := listPlanIDs(t, addr)
+	missing := diff(want, got)
+	if len(missing) > 0 {
+		t.Fatalf("acknowledged plans lost after crash: %v\nfirst run logs:\n%s\nsecond run logs:\n%s",
+			missing, logs.String(), logs2.String())
+	}
+	if extra := diff(got, ids); len(extra) > 0 {
+		t.Errorf("recovered plans never uploaded: %v", extra)
+	}
+	resp, err = http.Get("http://" + addr + "/api/kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, e := range entries {
+		if e.Name == pattern.F().Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("kb entry lost after crash; entries = %+v", entries)
+	}
+
+	// Compaction over the API, then graceful shutdown via SIGTERM: the
+	// daemon must drain and exit zero.
+	resp, err = http.Post("http://"+addr+"/api/admin/compact", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: status %d", resp.StatusCode)
+	}
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd2.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("graceful shutdown exit: %v\nlogs:\n%s", err, logs2.String())
+		}
+	case <-time.After(15 * time.Second):
+		cmd2.Process.Kill()
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(logs2.String(), "store flushed and closed") {
+		t.Errorf("shutdown did not flush the store; logs:\n%s", logs2.String())
+	}
+
+	// Third start: compacted state still serves everything.
+	cmd3, _ := startDaemon(t, bin, addr, data)
+	defer func() {
+		cmd3.Process.Kill()
+		cmd3.Wait()
+	}()
+	got3 := listPlanIDs(t, addr)
+	if fmt.Sprint(got3) != fmt.Sprint(got) {
+		t.Errorf("state changed across compaction + restart:\nbefore %v\nafter  %v", got, got3)
+	}
+}
+
+// diff returns the elements of a missing from b.
+func diff(a, b []string) []string {
+	have := make(map[string]bool, len(b))
+	for _, s := range b {
+		have[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if !have[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

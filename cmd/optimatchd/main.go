@@ -8,20 +8,39 @@
 //	curl -X POST --data-binary @plan.exfmt localhost:8080/api/plans
 //	curl -X POST --data-binary @pattern.json localhost:8080/api/search
 //	curl -X POST localhost:8080/api/kb/run
+//
+// With -data the daemon becomes stateful: plan uploads and knowledge-base
+// mutations are journaled to a write-ahead log under the given directory
+// and recovered on the next start, so the repository of problem plans
+// accumulates across sessions:
+//
+//	optimatchd -addr :8080 -data ./optimatch-data
+//
+// On SIGINT/SIGTERM the daemon drains in-flight requests and flushes the
+// store before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"optimatch/internal/core"
 	"optimatch/internal/kb"
 	"optimatch/internal/server"
+	"optimatch/internal/store"
 )
+
+// shutdownTimeout bounds how long draining in-flight requests may take.
+const shutdownTimeout = 10 * time.Second
 
 func main() {
 	if err := run(); err != nil {
@@ -32,50 +51,153 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		load      = flag.String("load", "", "directory of explain files to load at start")
-		kbFile    = flag.String("kb", "", "knowledge base JSON (default: built-in canonical patterns)")
-		extended  = flag.Bool("extended", false, "use the extended built-in knowledge base (patterns E-G)")
-		workers   = flag.Int("workers", 0, "matcher worker-pool size (default: GOMAXPROCS)")
-		prefilter = flag.Bool("prefilter", true, "vocabulary prefilter + per-graph query specialization")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		load         = flag.String("load", "", "directory of explain files to load at start")
+		kbFile       = flag.String("kb", "", "knowledge base JSON (default: built-in canonical patterns)")
+		extended     = flag.Bool("extended", false, "use the extended built-in knowledge base (patterns E-G)")
+		workers      = flag.Int("workers", 0, "matcher worker-pool size (default: GOMAXPROCS)")
+		prefilter    = flag.Bool("prefilter", true, "vocabulary prefilter + per-graph query specialization")
+		data         = flag.String("data", "", "durable store directory (empty: in-memory only, state lost on exit)")
+		compactEvery = flag.Int64("compact-every", 1024, "auto-compact the store once its WAL holds this many records (0: manual only)")
 	)
 	flag.Parse()
 
-	// The engine caches parsed queries, so repeated searches over the API
-	// skip the SPARQL parser entirely.
-	eng := core.New(core.WithWorkers(*workers), core.WithPrefilter(*prefilter))
+	engOpts := []core.Option{core.WithWorkers(*workers), core.WithPrefilter(*prefilter)}
+
+	base, err := loadKB(*kbFile, *extended)
+	if err != nil {
+		return err
+	}
+
+	var (
+		eng        *core.Engine
+		st         *store.Store
+		serverOpts []server.Option
+	)
+	if *data != "" {
+		// The store owns the engine and knowledge base: recovery replays
+		// the snapshot + WAL tail into them before we serve a byte. The
+		// -kb/-extended flags only seed a store that has no snapshot yet.
+		st, err = store.Open(*data,
+			store.WithEngineOptions(engOpts...),
+			store.WithDefaultKB(base),
+			store.WithAutoCompact(*compactEvery),
+		)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		eng = st.Engine()
+		base = st.KB()
+		serverOpts = append(serverOpts, server.WithStore(st))
+		stats := st.Stats()
+		log.Printf("store %s: generation %d, %d plan(s) recovered, %d WAL record(s) replayed, %d torn tail(s) truncated",
+			*data, stats.Generation, eng.NumPlans(), stats.RecoveredRecords, stats.RecoveryTruncations)
+	} else {
+		// The engine caches parsed queries, so repeated searches over the
+		// API skip the SPARQL parser entirely.
+		eng = core.New(engOpts...)
+	}
+
 	if *load != "" {
-		n, err := eng.LoadDir(*load)
+		n, err := loadDir(eng, st, *load)
 		if err != nil {
 			return err
 		}
 		log.Printf("loaded %d plan(s) from %s", n, *load)
 	}
-
-	var base *kb.KnowledgeBase
-	switch {
-	case *kbFile != "":
-		f, err := os.Open(*kbFile)
-		if err != nil {
-			return err
-		}
-		base, err = kb.Load(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-	case *extended:
-		base = kb.MustExtended()
-	default:
-		base = kb.MustCanonical()
-	}
 	log.Printf("knowledge base: %d entries", base.Len())
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng, base).Handler(),
+		Handler:           server.New(eng, base, serverOpts...).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("optimatchd listening on %s", *addr)
-	return srv.ListenAndServe()
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and flush
+	// the store so acknowledged mutations are on disk before we exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("optimatchd listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected server stop
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down (draining for up to %s)", shutdownTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			return err
+		}
+		log.Printf("store flushed and closed")
+	}
+	return nil
+}
+
+// loadKB resolves the -kb/-extended flags to a knowledge base.
+func loadKB(kbFile string, extended bool) (*kb.KnowledgeBase, error) {
+	switch {
+	case kbFile != "":
+		f, err := os.Open(kbFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return kb.Load(f)
+	case extended:
+		return kb.MustExtended(), nil
+	default:
+		return kb.MustCanonical(), nil
+	}
+}
+
+// loadDir seeds the engine from a directory of explain files. With a store,
+// plans go through the durable ingest path and already-recovered IDs are
+// skipped, so -load -data restarts are idempotent.
+func loadDir(eng *core.Engine, st *store.Store, dir string) (int, error) {
+	if st == nil {
+		return eng.LoadDir(dir)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		switch filepath.Ext(ent.Name()) {
+		case ".txt", ".exfmt", ".exp":
+		default:
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return n, err
+		}
+		if _, err := st.AddPlan(string(data)); err != nil {
+			if errors.Is(err, core.ErrDuplicatePlan) {
+				continue // recovered from the store already
+			}
+			return n, fmt.Errorf("%s: %w", ent.Name(), err)
+		}
+		n++
+	}
+	return n, nil
 }

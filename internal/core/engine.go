@@ -10,6 +10,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -30,6 +31,9 @@ import (
 // NoRecommendation is the message reported for a plan no knowledge-base
 // entry matches (paper Algorithm 5, line 6).
 const NoRecommendation = "There is currently no recommendation in knowledge base"
+
+// ErrDuplicatePlan marks a load rejected because the plan ID is taken.
+var ErrDuplicatePlan = errors.New("already loaded")
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -107,7 +111,7 @@ func (e *Engine) LoadPlan(p *qep.Plan) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.byID[p.ID]; dup {
-		return fmt.Errorf("core: plan %q already loaded", p.ID)
+		return fmt.Errorf("core: plan %q %w", p.ID, ErrDuplicatePlan)
 	}
 	e.plans = append(e.plans, r)
 	e.byID[p.ID] = r
@@ -122,7 +126,7 @@ func (e *Engine) LoadResult(r *transform.Result) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.byID[r.Plan.ID]; dup {
-		return fmt.Errorf("core: plan %q already loaded", r.Plan.ID)
+		return fmt.Errorf("core: plan %q %w", r.Plan.ID, ErrDuplicatePlan)
 	}
 	e.plans = append(e.plans, r)
 	e.byID[r.Plan.ID] = r
@@ -178,6 +182,26 @@ func (e *Engine) LoadDir(dir string) (int, error) {
 		n++
 	}
 	return n, nil
+}
+
+// RemovePlan unloads the plan with the given ID, releasing its transformed
+// graph. It reports whether the plan was loaded. Matches in flight keep
+// their own snapshot of the plan list, so removal never disturbs a running
+// scan.
+func (e *Engine) RemovePlan(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.byID[id]; !ok {
+		return false
+	}
+	delete(e.byID, id)
+	for i, r := range e.plans {
+		if r.Plan.ID == id {
+			e.plans = append(e.plans[:i:i], e.plans[i+1:]...)
+			break
+		}
+	}
+	return true
 }
 
 // NumPlans reports how many plans are loaded.

@@ -405,3 +405,32 @@ func TestGroundTruthIncludesPatternG(t *testing.T) {
 		}
 	}
 }
+
+func TestRemovePlan(t *testing.T) {
+	e := engineWithFixtures(t)
+	if e.RemovePlan("GHOST") {
+		t.Error("RemovePlan(GHOST) = true")
+	}
+	if !e.RemovePlan("Q2") {
+		t.Fatal("RemovePlan(Q2) = false")
+	}
+	if e.Plan("Q2") != nil || e.NumPlans() != 4 {
+		t.Errorf("Q2 still visible after removal: NumPlans = %d", e.NumPlans())
+	}
+	// Removal frees the ID for re-ingest.
+	for _, p := range fixtures.All() {
+		if p.ID == "Q2" {
+			if err := e.LoadPlan(p); err != nil {
+				t.Fatalf("reload after remove: %v", err)
+			}
+		}
+	}
+	if e.NumPlans() != 5 {
+		t.Errorf("NumPlans after reload = %d", e.NumPlans())
+	}
+	// Load order is preserved for the survivors plus the re-ingest at the end.
+	plans := e.Plans()
+	if plans[len(plans)-1].ID != "Q2" {
+		t.Errorf("re-ingested plan not last: %v", plans[len(plans)-1].ID)
+	}
+}

@@ -114,6 +114,27 @@ func (kb *KnowledgeBase) Add(p *pattern.Pattern, recs ...Recommendation) (*Entry
 	return e, nil
 }
 
+// Remove deletes the named entry. It reports whether the entry existed.
+// The entries slice is copied on removal so that concurrent readers holding
+// the result of a previous Entries or Snapshot call are unaffected.
+func (kb *KnowledgeBase) Remove(name string) bool {
+	for i, e := range kb.entries {
+		if e.Name == name {
+			kb.entries = append(kb.entries[:i:i], kb.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns a shallow copy of the knowledge base: a new
+// KnowledgeBase whose entry list is fixed at the time of the call. Entries
+// themselves are immutable after Add, so the snapshot is safe to scan while
+// the original keeps mutating.
+func (kb *KnowledgeBase) Snapshot() *KnowledgeBase {
+	return &KnowledgeBase{entries: append([]*Entry(nil), kb.entries...)}
+}
+
 // SetProfile overrides the entry's expert ranking profile.
 func (e *Entry) SetProfile(profile []float64) error {
 	if len(profile) != NumFeatures {

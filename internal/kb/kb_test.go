@@ -490,3 +490,27 @@ func TestExtendedKB(t *testing.T) {
 		t.Errorf("cost context missing: %s", ranked[0].Text)
 	}
 }
+
+func TestRemoveAndSnapshot(t *testing.T) {
+	base := MustCanonical()
+	snap := base.Snapshot()
+	n := base.Len()
+	if !base.Remove("loj-both-sides") {
+		t.Fatal("Remove(loj-both-sides) = false")
+	}
+	if base.Remove("loj-both-sides") {
+		t.Error("second Remove(loj-both-sides) = true")
+	}
+	if base.Len() != n-1 || base.Entry("loj-both-sides") != nil {
+		t.Errorf("entry still present after removal: len = %d", base.Len())
+	}
+	// The earlier snapshot is unaffected by the mutation.
+	if snap.Len() != n || snap.Entry("loj-both-sides") == nil {
+		t.Errorf("snapshot changed by Remove: len = %d", snap.Len())
+	}
+	// Removal frees the name for re-adding.
+	e := snap.Entry("loj-both-sides")
+	if _, err := base.Add(e.Pattern, e.Recommendations...); err != nil {
+		t.Fatalf("re-add after remove: %v", err)
+	}
+}

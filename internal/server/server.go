@@ -3,20 +3,29 @@
 // the transformation engine; Section 3.2.1 explicitly discusses
 // client-server communication). The API is JSON-first:
 //
-//	GET  /healthz                  liveness
-//	GET  /api/plans                loaded plans (id, operators, total cost)
-//	POST /api/plans                upload an explain file (text/plain body)
-//	GET  /api/plans/{id}/render    the ASCII plan graph
-//	GET  /api/plans/{id}/rdf       the plan's RDF as N-Triples
-//	POST /api/search               match a pattern (JSON body, Figure 5 form)
-//	POST /api/sparql               run a raw SPARQL query (text body)
-//	GET  /api/kb                   knowledge-base entries
-//	POST /api/kb/entries           add an entry {pattern, recommendations}
-//	POST /api/kb/run               scan all plans, ranked recommendations
+//	GET    /healthz                  liveness
+//	GET    /api/plans                loaded plans (id, operators, total cost)
+//	POST   /api/plans                upload an explain file (text/plain body)
+//	DELETE /api/plans/{id}           unload a plan (404 if unknown)
+//	GET    /api/plans/{id}/render    the ASCII plan graph
+//	GET    /api/plans/{id}/rdf       the plan's RDF as N-Triples
+//	POST   /api/search               match a pattern (JSON body, Figure 5 form)
+//	POST   /api/sparql               run a raw SPARQL query (text body)
+//	GET    /api/kb                   knowledge-base entries
+//	POST   /api/kb/entries           add an entry {pattern, recommendations}
+//	DELETE /api/kb/entries/{name}    remove an entry (404 if unknown)
+//	POST   /api/kb/run               scan all plans, ranked recommendations
+//	GET    /api/stats                engine + store counters
+//	POST   /api/admin/compact        fold the durable store's WAL into a snapshot
+//
+// When constructed with WithStore, plan uploads/deletions and
+// knowledge-base mutations write through the durable store, so the served
+// state survives a restart.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,6 +37,7 @@ import (
 	"optimatch/internal/pattern"
 	"optimatch/internal/qep"
 	"optimatch/internal/rdf"
+	"optimatch/internal/store"
 	"optimatch/internal/transform"
 )
 
@@ -37,18 +47,36 @@ const maxBodyBytes = 16 << 20
 // Server wires an engine and a knowledge base behind an http.Handler.
 type Server struct {
 	eng *core.Engine
+	st  *store.Store // nil when running in-memory only
 
-	mu sync.Mutex // guards kb mutation
+	// mu guards kb access: mutation handlers hold the write lock (also
+	// around write-through store calls), read handlers the read lock.
+	// Scans that outlive the lock work on a kb.Snapshot.
+	mu sync.RWMutex
 	kb *kb.KnowledgeBase
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithStore routes every mutation through the durable store. The engine
+// and knowledge base passed to New must be the store's own (store.Engine,
+// store.KB) so that served and journaled state are one and the same.
+func WithStore(st *store.Store) Option {
+	return func(s *Server) { s.st = st }
 }
 
 // New returns a server over the given engine and knowledge base. A nil
 // knowledge base starts with the canonical expert patterns.
-func New(eng *core.Engine, base *kb.KnowledgeBase) *Server {
+func New(eng *core.Engine, base *kb.KnowledgeBase, opts ...Option) *Server {
 	if base == nil {
 		base = kb.MustCanonical()
 	}
-	return &Server{eng: eng, kb: base}
+	s := &Server{eng: eng, kb: base}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the HTTP handler.
@@ -59,13 +87,17 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /api/plans", s.handleListPlans)
 	mux.HandleFunc("POST /api/plans", s.handleUploadPlan)
+	mux.HandleFunc("DELETE /api/plans/{id}", s.handleDeletePlan)
 	mux.HandleFunc("GET /api/plans/{id}/render", s.handleRenderPlan)
 	mux.HandleFunc("GET /api/plans/{id}/rdf", s.handlePlanRDF)
 	mux.HandleFunc("POST /api/search", s.handleSearch)
 	mux.HandleFunc("POST /api/sparql", s.handleSPARQL)
 	mux.HandleFunc("GET /api/kb", s.handleListKB)
 	mux.HandleFunc("POST /api/kb/entries", s.handleAddEntry)
+	mux.HandleFunc("DELETE /api/kb/entries/{name}", s.handleDeleteEntry)
 	mux.HandleFunc("POST /api/kb/run", s.handleRunKB)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("POST /api/admin/compact", s.handleCompact)
 	return mux
 }
 
@@ -116,12 +148,43 @@ func (s *Server) handleUploadPlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.eng.LoadText(body)
+	var p *qep.Plan
+	if s.st != nil {
+		p, err = s.st.AddPlan(body)
+	} else {
+		p, err = s.eng.LoadText(body)
+	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, store.ErrPersist) || errors.Is(err, store.ErrClosed) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, planInfo{ID: p.ID, Operators: p.NumOps(), TotalCost: p.TotalCost})
+}
+
+func (s *Server) handleDeletePlan(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var (
+		ok  bool
+		err error
+	)
+	if s.st != nil {
+		ok, err = s.st.RemovePlan(id)
+	} else {
+		ok = s.eng.RemovePlan(id)
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("plan %q not loaded", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
 func (s *Server) plan(w http.ResponseWriter, r *http.Request) *qep.Plan {
@@ -218,8 +281,8 @@ type entryInfo struct {
 }
 
 func (s *Server) handleListKB(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]entryInfo, 0, s.kb.Len())
 	for _, e := range s.kb.Entries() {
 		out = append(out, entryInfo{Name: e.Name, Description: e.Description, Recommendations: len(e.Recommendations)})
@@ -249,13 +312,46 @@ func (s *Server) handleAddEntry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	entry, err := s.kb.Add(req.Pattern, req.Recommendations...)
+	var entry *kb.Entry
+	if s.st != nil {
+		entry, err = s.st.AddEntry(req.Pattern, req.Recommendations...)
+	} else {
+		entry, err = s.kb.Add(req.Pattern, req.Recommendations...)
+	}
+	s.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, store.ErrPersist) || errors.Is(err, store.ErrClosed) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, entryInfo{Name: entry.Name, Description: entry.Description, Recommendations: len(entry.Recommendations)})
+}
+
+func (s *Server) handleDeleteEntry(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	var (
+		ok  bool
+		err error
+	)
+	if s.st != nil {
+		ok, err = s.st.RemoveEntry(name)
+	} else {
+		ok = s.kb.Remove(name)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("kb entry %q not found", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
 // recBody is the wire form of one ranked recommendation.
@@ -275,9 +371,11 @@ type reportBody struct {
 }
 
 func (s *Server) handleRunKB(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	base := s.kb
-	s.mu.Unlock()
+	// Scan a point-in-time snapshot: the entry list is fixed here, so a
+	// concurrent POST /api/kb/entries cannot race the walk below.
+	s.mu.RLock()
+	base := s.kb.Snapshot()
+	s.mu.RUnlock()
 	reports, err := s.eng.RunKB(base)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -298,4 +396,41 @@ func (s *Server) handleRunKB(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, rb)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// statsBody is the GET /api/stats response.
+type statsBody struct {
+	Plans     int                 `json:"plans"`
+	KBEntries int                 `json:"kbEntries"`
+	Prefilter core.PrefilterStats `json:"prefilter"`
+	Store     *store.Stats        `json:"store,omitempty"` // nil without -data
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	entries := s.kb.Len()
+	s.mu.RUnlock()
+	body := statsBody{
+		Plans:     s.eng.NumPlans(),
+		KBEntries: entries,
+		Prefilter: s.eng.PrefilterStats(),
+	}
+	if s.st != nil {
+		st := s.st.Stats()
+		body.Store = &st
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("no durable store configured (start optimatchd with -data)"))
+		return
+	}
+	if err := s.st.Compact(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	st := s.st.Stats()
+	writeJSON(w, http.StatusOK, st)
 }

@@ -2,9 +2,11 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"optimatch/internal/core"
@@ -12,6 +14,7 @@ import (
 	"optimatch/internal/kb"
 	"optimatch/internal/pattern"
 	"optimatch/internal/qep"
+	"optimatch/internal/store"
 )
 
 func testServer(t *testing.T) (*Server, *httptest.Server) {
@@ -210,5 +213,194 @@ func TestNilKBDefaultsToCanonical(t *testing.T) {
 	s := New(core.New(), nil)
 	if s.kb.Len() != 4 {
 		t.Errorf("default kb entries = %d", s.kb.Len())
+	}
+}
+
+func doDelete(t *testing.T, url string, wantStatus int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("DELETE %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+}
+
+func TestDeletePlanEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	doDelete(t, ts.URL+"/api/plans/Q2", http.StatusOK)
+	doDelete(t, ts.URL+"/api/plans/Q2", http.StatusNotFound)
+	var plans []planInfo
+	getJSON(t, ts.URL+"/api/plans", http.StatusOK, &plans)
+	if len(plans) != 4 {
+		t.Errorf("plans after delete = %d", len(plans))
+	}
+	// The removed ID is free for re-upload.
+	for _, p := range fixtures.All() {
+		if p.ID == "Q2" {
+			postBody(t, ts.URL+"/api/plans", qep.Text(p), http.StatusCreated, nil)
+		}
+	}
+}
+
+func TestDeleteKBEntryEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	doDelete(t, ts.URL+"/api/kb/entries/loj-both-sides", http.StatusOK)
+	doDelete(t, ts.URL+"/api/kb/entries/loj-both-sides", http.StatusNotFound)
+	var entries []entryInfo
+	getJSON(t, ts.URL+"/api/kb", http.StatusOK, &entries)
+	if len(entries) != 3 {
+		t.Errorf("entries after delete = %d", len(entries))
+	}
+}
+
+func TestStatsEndpointWithoutStore(t *testing.T) {
+	_, ts := testServer(t)
+	var stats statsBody
+	getJSON(t, ts.URL+"/api/stats", http.StatusOK, &stats)
+	if stats.Plans != 5 || stats.KBEntries != 4 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Store != nil {
+		t.Errorf("store stats without store: %+v", stats.Store)
+	}
+	// Compaction needs a durable store.
+	postBody(t, ts.URL+"/api/admin/compact", "", http.StatusNotImplemented, nil)
+}
+
+// storeServer builds a server over a durable store in dir.
+func storeServer(t *testing.T, dir string) (*store.Store, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ts := httptest.NewServer(New(st.Engine(), st.KB(), WithStore(st)).Handler())
+	t.Cleanup(ts.Close)
+	return st, ts
+}
+
+func TestStoreBackedServerSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, ts := storeServer(t, dir)
+
+	for _, p := range fixtures.All() {
+		postBody(t, ts.URL+"/api/plans", qep.Text(p), http.StatusCreated, nil)
+	}
+	req := addEntryRequest{
+		Pattern: pattern.F(),
+		Recommendations: []kb.Recommendation{{
+			Title: "review CSE", Template: "check @TOP shared by @CONSUMER2 and @CONSUMER3",
+		}},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postBody(t, ts.URL+"/api/kb/entries", string(body), http.StatusCreated, nil)
+	doDelete(t, ts.URL+"/api/plans/Q9", http.StatusOK)
+
+	var stats statsBody
+	getJSON(t, ts.URL+"/api/stats", http.StatusOK, &stats)
+	if stats.Store == nil || stats.Store.AppendedRecords != 7 {
+		t.Fatalf("store stats = %+v", stats.Store)
+	}
+	// Compaction over the API shrinks the WAL without changing state.
+	postBody(t, ts.URL+"/api/admin/compact", "", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/api/stats", http.StatusOK, &stats)
+	if stats.Store.WALBytes != 0 || stats.Store.Generation != 1 {
+		t.Fatalf("store stats after compact = %+v", stats.Store)
+	}
+	ts.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh store over the same directory serves the same state.
+	_, ts2 := storeServer(t, dir)
+	var plans []planInfo
+	getJSON(t, ts2.URL+"/api/plans", http.StatusOK, &plans)
+	if len(plans) != 4 {
+		t.Fatalf("plans after restart = %d", len(plans))
+	}
+	for _, p := range plans {
+		if p.ID == "Q9" {
+			t.Error("deleted plan resurrected")
+		}
+	}
+	var entries []entryInfo
+	getJSON(t, ts2.URL+"/api/kb", http.StatusOK, &entries)
+	if len(entries) != 5 {
+		t.Fatalf("kb entries after restart = %d", len(entries))
+	}
+}
+
+// TestConcurrentKBReadsAndWrites hammers the KB read paths while entries
+// are being added; run with -race this fails if any path touches the entry
+// list without synchronization.
+func TestConcurrentKBReadsAndWrites(t *testing.T) {
+	_, ts := testServer(t)
+	const writers, readers, iters = 8, 8, 25
+	var wg sync.WaitGroup
+	for wtr := 0; wtr < writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				b := pattern.NewBuilder(fmt.Sprintf("hammer-%d-%d", wtr, i), "race test")
+				b.Pop("SORT").Alias("TOP")
+				req := addEntryRequest{
+					Pattern:         b.MustBuild(),
+					Recommendations: []kb.Recommendation{{Title: "t", Template: "inspect @TOP"}},
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(ts.URL+"/api/kb/entries", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					t.Errorf("add entry: status %d", resp.StatusCode)
+				}
+			}
+		}(wtr)
+	}
+	for rdr := 0; rdr < readers; rdr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(ts.URL + "/api/kb")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				resp, err = http.Post(ts.URL+"/api/kb/run", "text/plain", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	var entries []entryInfo
+	getJSON(t, ts.URL+"/api/kb", http.StatusOK, &entries)
+	if len(entries) != 4+writers*iters {
+		t.Errorf("entries = %d, want %d", len(entries), 4+writers*iters)
 	}
 }

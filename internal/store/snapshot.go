@@ -1,0 +1,129 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"optimatch/internal/kb"
+	"optimatch/internal/qep"
+)
+
+const (
+	snapshotName = "snapshot.json"
+	walName      = "wal.log"
+)
+
+// snapshot is the compacted state of the repository: every plan's raw
+// explain text plus the knowledge base in its kb.Save envelope. LastSeq
+// records the newest WAL sequence number the snapshot absorbed; replay
+// skips records at or below it. Generation counts compactions.
+type snapshot struct {
+	Version    int             `json:"version"`
+	Generation uint64          `json:"generation"`
+	LastSeq    uint64          `json:"lastSeq"`
+	Plans      []snapshotPlan  `json:"plans"`
+	KB         json.RawMessage `json:"kb"`
+}
+
+// snapshotPlan preserves one plan as the explain text it round-trips
+// through qep.Parse. Plans loaded from files keep their original source;
+// programmatically built plans are rendered with qep.Text.
+type snapshotPlan struct {
+	ID   string `json:"id"`
+	Text string `json:"text"`
+}
+
+// planText returns the explain text that re-parses into p.
+func planText(p *qep.Plan) string {
+	if p.Source != "" {
+		return p.Source
+	}
+	return qep.Text(p)
+}
+
+// buildSnapshot captures the given state. The caller must hold whatever
+// lock guards the knowledge base.
+func buildSnapshot(gen, lastSeq uint64, plans []*qep.Plan, base *kb.KnowledgeBase) (*snapshot, error) {
+	snap := &snapshot{Version: 1, Generation: gen, LastSeq: lastSeq}
+	for _, p := range plans {
+		snap.Plans = append(snap.Plans, snapshotPlan{ID: p.ID, Text: planText(p)})
+	}
+	var buf bytes.Buffer
+	if err := base.Save(&buf); err != nil {
+		return nil, fmt.Errorf("store: serializing knowledge base: %w", err)
+	}
+	snap.KB = json.RawMessage(buf.Bytes())
+	return snap, nil
+}
+
+// writeSnapshot persists the snapshot atomically: write to a temp file in
+// the same directory, fsync it, rename over the live name, fsync the
+// directory. A crash at any point leaves either the old snapshot or the
+// new one, never a partial file.
+func writeSnapshot(dir string, snap *snapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	return atomicWrite(dir, snapshotName, data)
+}
+
+// readSnapshot loads the current snapshot, or returns nil if none exists.
+func readSnapshot(dir string) (*snapshot, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("store: snapshot version %d not supported", snap.Version)
+	}
+	return &snap, nil
+}
+
+// atomicWrite replaces dir/name with data via temp file + rename.
+func atomicWrite(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", name, err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("store: publishing %s: %w", name, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,438 @@
+// Package store is the durable repository behind optimatchd: it makes the
+// engine's plan workload and the expert knowledge base survive restarts,
+// the way GALO's problem-plan repository accumulates across sessions. Two
+// record streams — plan ingests (raw explain text) and knowledge-base
+// mutations (entries as their kb JSON form) — flow through an append-only
+// write-ahead log whose records are length-prefixed and CRC32-checksummed;
+// every append is fsync'd before the mutation is acknowledged. Periodic
+// compaction folds the log into a snapshot (atomic temp-file + rename)
+// carrying a generation counter and the last absorbed log sequence number,
+// so recovery loads the snapshot and replays only the WAL tail. Opening a
+// store truncates a torn tail at the first bad checksum instead of failing
+// the boot.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"optimatch/internal/core"
+	"optimatch/internal/kb"
+	"optimatch/internal/pattern"
+	"optimatch/internal/qep"
+)
+
+// ErrPersist marks failures of the durability machinery itself (WAL append,
+// fsync, snapshot write) as opposed to validation errors from the engine or
+// knowledge base. Callers can map it to a 5xx while validation stays 4xx.
+var ErrPersist = errors.New("store: persistence failure")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	engineOpts  []core.Option
+	defaultKB   *kb.KnowledgeBase
+	autoCompact int64
+}
+
+// WithEngineOptions forwards options to the recovered engine.
+func WithEngineOptions(opts ...core.Option) Option {
+	return func(c *config) { c.engineOpts = append(c.engineOpts, opts...) }
+}
+
+// WithDefaultKB sets the knowledge base used when the directory has no
+// snapshot yet (fresh store). Once a snapshot exists it fully captures the
+// knowledge base and the default is ignored. The store takes ownership of
+// the given base. Nil means the canonical expert patterns.
+func WithDefaultKB(base *kb.KnowledgeBase) Option {
+	return func(c *config) { c.defaultKB = base }
+}
+
+// WithAutoCompact compacts automatically once the WAL holds n records
+// (0 disables; compaction is then manual via Compact).
+func WithAutoCompact(n int64) Option {
+	return func(c *config) { c.autoCompact = n }
+}
+
+// Store is a durable plan & knowledge-base repository. All methods are safe
+// for concurrent use. The engine and knowledge base returned by Engine and
+// KB are owned by the store: route every mutation through the store so it
+// is journaled, and snapshot the knowledge base before scanning it
+// concurrently with mutations.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	wal  *os.File // nil after Close
+	eng  *core.Engine
+	base *kb.KnowledgeBase
+
+	seq         uint64 // last applied log sequence number
+	generation  uint64 // compaction generation
+	autoCompact int64
+
+	walRecords    int64
+	walBytes      int64
+	appended      int64
+	appendedBytes int64
+	recovered     int64
+	truncations   int64
+	compactions   int64
+	lastCompact   time.Time
+	compactErr    string
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Dir                 string    `json:"dir"`
+	Generation          uint64    `json:"generation"`          // compactions survived by the snapshot
+	LastSeq             uint64    `json:"lastSeq"`             // newest applied log sequence number
+	WALRecords          int64     `json:"walRecords"`          // records currently in the log
+	WALBytes            int64     `json:"walBytes"`            // bytes currently in the log
+	AppendedRecords     int64     `json:"appendedRecords"`     // records appended since open
+	AppendedBytes       int64     `json:"appendedBytes"`       // bytes appended since open
+	RecoveredRecords    int64     `json:"recoveredRecords"`    // WAL records replayed at open
+	RecoveryTruncations int64     `json:"recoveryTruncations"` // torn tails truncated at open
+	Compactions         int64     `json:"compactions"`         // compactions since open
+	LastCompaction      time.Time `json:"lastCompaction"`      // zero if none since open
+	LastCompactionError string    `json:"lastCompactionError,omitempty"`
+}
+
+// Open recovers the repository at dir (created if missing): it loads the
+// snapshot if one exists, replays the WAL tail into a fresh engine and
+// knowledge base, truncates any torn tail, and leaves the log open for
+// appending.
+func Open(dir string, opts ...Option) (*Store, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, eng: core.New(cfg.engineOpts...), autoCompact: cfg.autoCompact}
+
+	snap, err := readSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	base := cfg.defaultKB
+	if snap != nil {
+		for _, sp := range snap.Plans {
+			if _, err := s.eng.LoadText(sp.Text); err != nil {
+				return nil, fmt.Errorf("store: recovering plan %s: %w", sp.ID, err)
+			}
+		}
+		base, err = kb.Load(bytes.NewReader(snap.KB))
+		if err != nil {
+			return nil, fmt.Errorf("store: recovering knowledge base: %w", err)
+		}
+		s.seq, s.generation = snap.LastSeq, snap.Generation
+	} else if base == nil {
+		base = kb.MustCanonical()
+	}
+	s.base = base
+
+	walPath := filepath.Join(dir, walName)
+	recs, goodOffset, torn, err := scanWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		if err := os.Truncate(walPath, goodOffset); err != nil {
+			return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+		s.truncations++
+	}
+	for i := range recs {
+		if recs[i].Seq <= s.seq {
+			continue // already absorbed by the snapshot
+		}
+		if err := s.applyRecord(&recs[i]); err != nil {
+			return nil, fmt.Errorf("store: replaying record %d (seq %d): %w", i, recs[i].Seq, err)
+		}
+		s.seq = recs[i].Seq
+		s.recovered++
+	}
+	s.walRecords = int64(len(recs))
+	s.walBytes = goodOffset
+
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL for append: %w", err)
+	}
+	s.wal = f
+	return s, nil
+}
+
+// Engine returns the recovered engine. The store owns it; use the store's
+// AddPlan/RemovePlan for durable mutations.
+func (s *Store) Engine() *core.Engine { return s.eng }
+
+// KB returns the recovered knowledge base. The store owns it; use
+// AddEntry/RemoveEntry for durable mutations.
+func (s *Store) KB() *kb.KnowledgeBase {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base
+}
+
+// applyRecord replays one journaled mutation into the engine/KB.
+func (s *Store) applyRecord(rec *record) error {
+	switch rec.Op {
+	case opAddPlan:
+		_, err := s.eng.LoadText(rec.Text)
+		return err
+	case opRemovePlan:
+		if !s.eng.RemovePlan(rec.ID) {
+			return fmt.Errorf("plan %q not loaded", rec.ID)
+		}
+		return nil
+	case opAddEntry:
+		return addEntryJSON(s.base, rec.Item)
+	case opRemoveEntry:
+		if !s.base.Remove(rec.ID) {
+			return fmt.Errorf("kb entry %q not found", rec.ID)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// addEntryJSON reconstructs a knowledge-base entry from its JSON form the
+// same way kb.Load does: recompile the pattern, revalidate the templates,
+// keep the stored ranking profile.
+func addEntryJSON(base *kb.KnowledgeBase, data []byte) error {
+	var e kb.Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return fmt.Errorf("decoding kb entry: %w", err)
+	}
+	if e.Pattern == nil {
+		return fmt.Errorf("kb entry %q has no pattern", e.Name)
+	}
+	e.Pattern.Name = e.Name
+	e.Pattern.Description = e.Description
+	added, err := base.Add(e.Pattern, e.Recommendations...)
+	if err != nil {
+		return err
+	}
+	if len(e.Profile) == kb.NumFeatures {
+		added.Profile = e.Profile
+	}
+	return nil
+}
+
+// appendLocked journals one record and fsyncs. Callers hold s.mu.
+func (s *Store) appendLocked(rec *record) error {
+	if s.wal == nil {
+		return ErrClosed
+	}
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.wal.Write(buf); err != nil {
+		return fmt.Errorf("%w: appending record: %v", ErrPersist, err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("%w: syncing WAL: %v", ErrPersist, err)
+	}
+	s.walRecords++
+	s.walBytes += int64(len(buf))
+	s.appended++
+	s.appendedBytes += int64(len(buf))
+	return nil
+}
+
+// maybeAutoCompact runs a compaction when the WAL has grown past the
+// configured threshold. Compaction failure never fails the mutation that
+// triggered it (the mutation is already durable in the log); it is surfaced
+// through Stats instead.
+func (s *Store) maybeAutoCompact() {
+	if s.autoCompact <= 0 || s.walRecords < s.autoCompact {
+		return
+	}
+	if err := s.compactLocked(); err != nil {
+		s.compactErr = err.Error()
+	}
+}
+
+// AddPlan parses and ingests an explain file, journaling the raw text. The
+// returned plan is registered in the engine. Validation errors (bad text,
+// duplicate ID) are returned as-is; durability failures wrap ErrPersist.
+func (s *Store) AddPlan(text string) (*qep.Plan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil, ErrClosed
+	}
+	p, err := s.eng.LoadText(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.appendLocked(&record{Seq: s.seq + 1, Op: opAddPlan, ID: p.ID, Text: text}); err != nil {
+		s.eng.RemovePlan(p.ID) // keep memory and log in agreement
+		return nil, err
+	}
+	s.seq++
+	s.maybeAutoCompact()
+	return p, nil
+}
+
+// RemovePlan unloads a plan durably. It reports whether the plan existed.
+func (s *Store) RemovePlan(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return false, ErrClosed
+	}
+	p := s.eng.Plan(id)
+	if p == nil {
+		return false, nil
+	}
+	s.eng.RemovePlan(id)
+	if err := s.appendLocked(&record{Seq: s.seq + 1, Op: opRemovePlan, ID: id}); err != nil {
+		_ = s.eng.LoadPlan(p) // roll back
+		return false, err
+	}
+	s.seq++
+	s.maybeAutoCompact()
+	return true, nil
+}
+
+// AddEntry saves a problem pattern with its recommendations to the
+// knowledge base, journaling the entry's JSON form.
+func (s *Store) AddEntry(p *pattern.Pattern, recs ...kb.Recommendation) (*kb.Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil, ErrClosed
+	}
+	entry, err := s.base.Add(p, recs...)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		s.base.Remove(entry.Name)
+		return nil, fmt.Errorf("store: encoding kb entry: %w", err)
+	}
+	if err := s.appendLocked(&record{Seq: s.seq + 1, Op: opAddEntry, ID: entry.Name, Item: data}); err != nil {
+		s.base.Remove(entry.Name)
+		return nil, err
+	}
+	s.seq++
+	s.maybeAutoCompact()
+	return entry, nil
+}
+
+// RemoveEntry deletes a knowledge-base entry durably. It reports whether
+// the entry existed.
+func (s *Store) RemoveEntry(name string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return false, ErrClosed
+	}
+	entry := s.base.Entry(name)
+	if entry == nil {
+		return false, nil
+	}
+	s.base.Remove(name)
+	if err := s.appendLocked(&record{Seq: s.seq + 1, Op: opRemoveEntry, ID: name}); err != nil {
+		if readded, aerr := s.base.Add(entry.Pattern, entry.Recommendations...); aerr == nil {
+			readded.Profile = entry.Profile // roll back
+		}
+		return false, err
+	}
+	s.seq++
+	s.maybeAutoCompact()
+	return true, nil
+}
+
+// Compact folds the current state into a fresh snapshot and resets the WAL.
+// Served state is unchanged; only the on-disk representation shrinks.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	snap, err := buildSnapshot(s.generation+1, s.seq, s.eng.Plans(), s.base)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshot(s.dir, snap); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	// Swap in an empty log only after the snapshot is durable. If we crash
+	// between the renames the old log survives alongside the new snapshot,
+	// and replay skips its records by sequence number.
+	if err := atomicWrite(s.dir, walName, nil); err != nil {
+		return fmt.Errorf("%w: resetting WAL: %v", ErrPersist, err)
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: reopening WAL: %v", ErrPersist, err)
+	}
+	old := s.wal
+	s.wal = f
+	old.Close() // the unlinked previous log
+	s.generation = snap.Generation
+	s.compactions++
+	s.walRecords, s.walBytes = 0, 0
+	s.lastCompact = time.Now()
+	s.compactErr = ""
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Dir:                 s.dir,
+		Generation:          s.generation,
+		LastSeq:             s.seq,
+		WALRecords:          s.walRecords,
+		WALBytes:            s.walBytes,
+		AppendedRecords:     s.appended,
+		AppendedBytes:       s.appendedBytes,
+		RecoveredRecords:    s.recovered,
+		RecoveryTruncations: s.truncations,
+		Compactions:         s.compactions,
+		LastCompaction:      s.lastCompact,
+		LastCompactionError: s.compactErr,
+	}
+}
+
+// Close flushes and closes the log. Further mutations return ErrClosed; the
+// engine and knowledge base stay readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	if err != nil {
+		return fmt.Errorf("store: closing WAL: %w", err)
+	}
+	return nil
+}

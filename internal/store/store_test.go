@@ -1,0 +1,385 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"optimatch/internal/core"
+	"optimatch/internal/fixtures"
+	"optimatch/internal/kb"
+	"optimatch/internal/pattern"
+	"optimatch/internal/qep"
+)
+
+// planTexts returns the fixture plans as explain text, keyed by ID.
+func planTexts() map[string]string {
+	out := make(map[string]string)
+	for _, p := range fixtures.All() {
+		out[p.ID] = qep.Text(p)
+	}
+	return out
+}
+
+// reportString renders a full KB run deterministically, so tests can
+// compare recovered state to a reference byte for byte.
+func reportString(t *testing.T, eng *core.Engine, base *kb.KnowledgeBase) string {
+	t.Helper()
+	reports, err := eng.RunKB(base)
+	if err != nil {
+		t.Fatalf("RunKB: %v", err)
+	}
+	var b strings.Builder
+	for i := range reports {
+		fmt.Fprintf(&b, "%s: %s\n", reports[i].Plan.ID, reports[i].Message())
+		for _, r := range reports[i].Recommendations {
+			fmt.Fprintf(&b, "  [%s] %s %.6f %s\n", r.Entry.Name, r.Recommendation.Title, r.Confidence, r.Text)
+		}
+	}
+	return b.String()
+}
+
+func testEntryPattern() *pattern.Pattern { return pattern.F() }
+
+func testEntryRec() kb.Recommendation {
+	return kb.Recommendation{
+		Title:    "review CSE",
+		Template: "check @TOP shared by @CONSUMER2 and @CONSUMER3",
+		Weight:   0.5,
+	}
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	texts := planTexts()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"Q2", "Q9", "Q21"} {
+		if _, err := s.AddPlan(texts[id]); err != nil {
+			t.Fatalf("AddPlan(%s): %v", id, err)
+		}
+	}
+	if _, err := s.AddEntry(testEntryPattern(), testEntryRec()); err != nil {
+		t.Fatalf("AddEntry: %v", err)
+	}
+	if ok, err := s.RemovePlan("Q9"); err != nil || !ok {
+		t.Fatalf("RemovePlan(Q9) = %v, %v", ok, err)
+	}
+	if ok, err := s.RemovePlan("GHOST"); err != nil || ok {
+		t.Fatalf("RemovePlan(GHOST) = %v, %v", ok, err)
+	}
+	want := reportString(t, s.Engine(), s.KB())
+	wantStats := s.Stats()
+	if wantStats.AppendedRecords != 5 || wantStats.LastSeq != 5 {
+		t.Errorf("stats = %+v", wantStats)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if n := r.Engine().NumPlans(); n != 2 {
+		t.Fatalf("recovered plans = %d", n)
+	}
+	if r.Engine().Plan("Q9") != nil || r.Engine().Plan("Q2") == nil {
+		t.Error("plan removal not recovered")
+	}
+	if r.KB().Entry(testEntryPattern().Name) == nil {
+		t.Error("kb entry not recovered")
+	}
+	if got := reportString(t, r.Engine(), r.KB()); got != want {
+		t.Errorf("recovered report differs:\n--- want\n%s--- got\n%s", want, got)
+	}
+	st := r.Stats()
+	if st.RecoveredRecords != 5 || st.RecoveryTruncations != 0 || st.LastSeq != 5 {
+		t.Errorf("recovered stats = %+v", st)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	texts := planTexts()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"Q2", "Q9", "Q21"} {
+		if _, err := s.AddPlan(texts[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	walPath := filepath.Join(dir, walName)
+	intact, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name      string
+		mutate    func(t *testing.T)
+		wantPlans int
+	}{
+		{"garbage appended", func(t *testing.T) {
+			writeFile(t, walPath, append(append([]byte(nil), intact...), "torn!"...))
+		}, 3},
+		{"mid-record cut", func(t *testing.T) {
+			writeFile(t, walPath, intact[:len(intact)-7])
+		}, 2},
+		{"flipped byte in last record", func(t *testing.T) {
+			bad := append([]byte(nil), intact...)
+			bad[len(bad)-3] ^= 0xff
+			writeFile(t, walPath, bad)
+		}, 2},
+		{"header-only tail", func(t *testing.T) {
+			writeFile(t, walPath, append(append([]byte(nil), intact...), 0xff, 0xff, 0xff))
+		}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.mutate(t)
+			r, err := Open(dir)
+			if err != nil {
+				t.Fatalf("open after corruption: %v", err)
+			}
+			defer r.Close()
+			if n := r.Engine().NumPlans(); n != tc.wantPlans {
+				t.Errorf("plans = %d, want %d", n, tc.wantPlans)
+			}
+			if st := r.Stats(); st.RecoveryTruncations != 1 {
+				t.Errorf("truncations = %d", st.RecoveryTruncations)
+			}
+			// The truncated log must reopen cleanly a second time.
+			r.Close()
+			r2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("second open: %v", err)
+			}
+			defer r2.Close()
+			if st := r2.Stats(); st.RecoveryTruncations != 0 {
+				t.Errorf("second open truncations = %d", st.RecoveryTruncations)
+			}
+			writeFile(t, walPath, intact) // restore for the next case
+		})
+	}
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionShrinksWALAndPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	texts := planTexts()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for id, text := range texts {
+		if _, err := s.AddPlan(text); err != nil {
+			t.Fatalf("AddPlan(%s): %v", id, err)
+		}
+	}
+	if _, err := s.AddEntry(testEntryPattern(), testEntryRec()); err != nil {
+		t.Fatal(err)
+	}
+	want := reportString(t, s.Engine(), s.KB())
+	before := s.Stats()
+	if before.WALBytes == 0 {
+		t.Fatal("WAL empty before compaction")
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := s.Stats()
+	if after.WALBytes != 0 || after.WALRecords != 0 {
+		t.Errorf("WAL not reset: %+v", after)
+	}
+	if after.Generation != 1 || after.Compactions != 1 || after.LastCompaction.IsZero() {
+		t.Errorf("compaction stats = %+v", after)
+	}
+	if got := reportString(t, s.Engine(), s.KB()); got != want {
+		t.Error("compaction changed served state")
+	}
+
+	// Appends keep working after the log swap, and recovery sees both the
+	// snapshot and the tail.
+	if ok, err := s.RemovePlan("Q2"); err != nil || !ok {
+		t.Fatalf("RemovePlan after compact = %v, %v", ok, err)
+	}
+	s.Close()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Engine().Plan("Q2") != nil || r.Engine().NumPlans() != len(texts)-1 {
+		t.Errorf("post-compaction tail not replayed: %d plans", r.Engine().NumPlans())
+	}
+	if st := r.Stats(); st.Generation != 1 || st.RecoveredRecords != 1 {
+		t.Errorf("recovered stats = %+v", st)
+	}
+}
+
+// A crash between publishing the snapshot and resetting the WAL leaves the
+// full old log next to the new snapshot; sequence numbers keep replay
+// idempotent.
+func TestSnapshotPlusStaleWAL(t *testing.T) {
+	dir := t.TempDir()
+	texts := planTexts()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddPlan(texts["Q2"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddPlan(texts["Q9"]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	walPath := filepath.Join(dir, walName)
+	stale, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	writeFile(t, walPath, stale) // resurrect the pre-compaction log
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with stale WAL: %v", err)
+	}
+	defer r.Close()
+	if n := r.Engine().NumPlans(); n != 2 {
+		t.Errorf("plans = %d (stale records must be skipped, not re-applied)", n)
+	}
+	if st := r.Stats(); st.RecoveredRecords != 0 {
+		t.Errorf("recovered = %d, want 0 (all records at or below snapshot seq)", st.RecoveredRecords)
+	}
+}
+
+func TestAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	texts := planTexts()
+	s, err := Open(dir, WithAutoCompact(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.AddPlan(texts["Q2"]); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Compactions != 0 {
+		t.Errorf("compacted too early: %+v", st)
+	}
+	if _, err := s.AddPlan(texts["Q9"]); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Compactions != 1 || st.WALRecords != 0 {
+		t.Errorf("auto-compact missing: %+v", st)
+	}
+}
+
+func TestDefaultKBAndSnapshotPrecedence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithDefaultKB(kb.MustExtended()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := s.KB().Len()
+	if wantLen != kb.MustExtended().Len() {
+		t.Fatalf("default kb = %d entries", wantLen)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// After a snapshot exists, the default is ignored: the snapshot's KB
+	// (extended) wins over a canonical default.
+	r, err := Open(dir, WithDefaultKB(kb.MustCanonical()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.KB().Len() != wantLen {
+		t.Errorf("kb after reopen = %d entries, want %d", r.KB().Len(), wantLen)
+	}
+}
+
+func TestClosedStoreRefusesMutations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := s.AddPlan("x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddPlan after close: %v", err)
+	}
+	if _, err := s.RemovePlan("x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("RemovePlan after close: %v", err)
+	}
+	if _, err := s.AddEntry(testEntryPattern(), testEntryRec()); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddEntry after close: %v", err)
+	}
+	if _, err := s.RemoveEntry("x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("RemoveEntry after close: %v", err)
+	}
+	if err := s.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after close: %v", err)
+	}
+}
+
+func TestValidationErrorsAreNotPersistErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.AddPlan("not a plan"); err == nil || errors.Is(err, ErrPersist) {
+		t.Errorf("garbage plan: %v", err)
+	}
+	texts := planTexts()
+	if _, err := s.AddPlan(texts["Q2"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddPlan(texts["Q2"]); err == nil || errors.Is(err, ErrPersist) {
+		t.Errorf("duplicate plan: %v", err)
+	}
+	// Failed mutations must not leave records behind.
+	if st := s.Stats(); st.AppendedRecords != 1 {
+		t.Errorf("appended = %d, want 1", st.AppendedRecords)
+	}
+}

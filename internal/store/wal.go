@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL record framing: every record is
+//
+//	uint32 payload length (little-endian)
+//	uint32 CRC32 (IEEE) of the payload
+//	payload (JSON-encoded record)
+//
+// Appends are a single Write followed by fsync, so a crash leaves at most
+// one torn record at the tail. Recovery scans from the start and truncates
+// the file at the first frame whose header or checksum does not verify;
+// everything before that point is intact by CRC.
+const (
+	headerSize = 8
+	// maxRecordBytes bounds a single record so a corrupted length field
+	// cannot make recovery allocate gigabytes. It matches the server's
+	// upload cap with JSON overhead to spare.
+	maxRecordBytes = 32 << 20
+)
+
+// Operation tags for WAL records and the op log.
+const (
+	opAddPlan     = "addPlan"
+	opRemovePlan  = "removePlan"
+	opAddEntry    = "addEntry"
+	opRemoveEntry = "removeEntry"
+)
+
+// record is one durable mutation. Seq is a monotonically increasing log
+// sequence number; a snapshot remembers the last sequence it absorbed, so
+// replay skips any record at or below it (records are idempotent by
+// sequence, which also makes the compaction swap crash-safe in both
+// orders).
+type record struct {
+	Seq  uint64          `json:"seq"`
+	Op   string          `json:"op"`
+	ID   string          `json:"id,omitempty"`    // plan ID or KB entry name
+	Text string          `json:"text,omitempty"`  // raw explain text (addPlan)
+	Item json.RawMessage `json:"entry,omitempty"` // kb.Entry JSON (addEntry)
+}
+
+// encodeRecord frames the record for appending.
+func encodeRecord(rec *record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("store: record of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// scanWAL reads every intact record from the log at path. It returns the
+// decoded records, the byte offset just past the last good frame, and
+// whether a torn or corrupt tail was found after that offset. A missing
+// file scans as empty.
+func scanWAL(path string) (recs []record, goodOffset int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	defer f.Close()
+
+	var header [headerSize]byte
+	for {
+		n, err := io.ReadFull(f, header[:])
+		if err == io.EOF {
+			return recs, goodOffset, false, nil // clean end of log
+		}
+		if err != nil || n < headerSize { // torn header
+			return recs, goodOffset, true, nil
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length < 2 || length > maxRecordBytes {
+			return recs, goodOffset, true, nil // implausible length: corrupt
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, goodOffset, true, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, goodOffset, true, nil // bit rot or torn rewrite
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// The frame verified but the payload is not a record we can
+			// read: stop here rather than guess (version skew).
+			return recs, goodOffset, true, nil
+		}
+		recs = append(recs, rec)
+		goodOffset += headerSize + int64(length)
+	}
+}
