@@ -16,9 +16,11 @@ import (
 
 	"optimatch/internal/core"
 	"optimatch/internal/kb"
+	"optimatch/internal/obs"
 	"optimatch/internal/pattern"
 	"optimatch/internal/qep"
 	"optimatch/internal/rdf"
+	"optimatch/internal/server"
 	"optimatch/internal/sparql"
 	"optimatch/internal/textsearch"
 	"optimatch/internal/transform"
@@ -121,6 +123,9 @@ func BenchmarkFigure8KBScan(b *testing.B) {
 	fast := build()
 	mid := build(core.WithExecOptions(sparql.ExecOptions{DisableSpecialization: true}))
 	slow := build(core.WithPrefilter(false))
+	// Same configuration as fast but with the full metrics pipeline attached,
+	// to pin the observability overhead on the hot path (budget: <2%).
+	instrumented := build(core.WithInstrumentation(server.EngineInstrumentation(obs.NewRegistry())))
 
 	fastReports, err := fast.RunKB(k)
 	if err != nil {
@@ -139,6 +144,7 @@ func BenchmarkFigure8KBScan(b *testing.B) {
 		eng  *core.Engine
 	}{
 		{"accelerated", fast},
+		{"instrumented", instrumented},
 		{"prefilter-only", mid},
 		{"baseline", slow},
 	} {

@@ -16,6 +16,12 @@
 //
 //	optimatchd -addr :8080 -data ./optimatch-data
 //
+// The daemon is observable in production: every request gets a structured
+// access-log line (-log-format json for machine ingestion, -slow-ms for a
+// WARN on slow requests), GET /metrics exposes per-stage counters and
+// latency histograms across every layer in the Prometheus text format, and
+// -debug-addr serves net/http/pprof on a separate, private listener.
+//
 // On SIGINT/SIGTERM the daemon drains in-flight requests and flushes the
 // store before exiting.
 package main
@@ -25,8 +31,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -35,6 +42,7 @@ import (
 
 	"optimatch/internal/core"
 	"optimatch/internal/kb"
+	"optimatch/internal/obs"
 	"optimatch/internal/server"
 	"optimatch/internal/store"
 )
@@ -59,20 +67,43 @@ func run() error {
 		prefilter    = flag.Bool("prefilter", true, "vocabulary prefilter + per-graph query specialization")
 		data         = flag.String("data", "", "durable store directory (empty: in-memory only, state lost on exit)")
 		compactEvery = flag.Int64("compact-every", 1024, "auto-compact the store once its WAL holds this many records (0: manual only)")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "log format: text or json")
+		slowMS       = flag.Int64("slow-ms", 500, "WARN-log requests slower than this many milliseconds (0: disabled)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty: disabled)")
 	)
 	flag.Parse()
 
-	engOpts := []core.Option{core.WithWorkers(*workers), core.WithPrefilter(*prefilter)}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	log := obs.NewLogger(os.Stderr, level, *logFormat)
+	slog.SetDefault(log)
+	reg := obs.NewRegistry()
+
+	engOpts := []core.Option{
+		core.WithWorkers(*workers),
+		core.WithPrefilter(*prefilter),
+		core.WithInstrumentation(server.EngineInstrumentation(reg)),
+	}
 
 	base, err := loadKB(*kbFile, *extended)
 	if err != nil {
 		return err
 	}
 
+	serverOpts := []server.Option{
+		server.WithLogger(log),
+		server.WithMetrics(reg),
+		server.WithSlowThreshold(time.Duration(*slowMS) * time.Millisecond),
+	}
 	var (
-		eng        *core.Engine
-		st         *store.Store
-		serverOpts []server.Option
+		eng *core.Engine
+		st  *store.Store
 	)
 	if *data != "" {
 		// The store owns the engine and knowledge base: recovery replays
@@ -82,6 +113,7 @@ func run() error {
 			store.WithEngineOptions(engOpts...),
 			store.WithDefaultKB(base),
 			store.WithAutoCompact(*compactEvery),
+			store.WithInstrumentation(server.StoreInstrumentation(reg)),
 		)
 		if err != nil {
 			return err
@@ -91,8 +123,9 @@ func run() error {
 		base = st.KB()
 		serverOpts = append(serverOpts, server.WithStore(st))
 		stats := st.Stats()
-		log.Printf("store %s: generation %d, %d plan(s) recovered, %d WAL record(s) replayed, %d torn tail(s) truncated",
-			*data, stats.Generation, eng.NumPlans(), stats.RecoveredRecords, stats.RecoveryTruncations)
+		log.Info("store recovered", "dir", *data, "generation", stats.Generation,
+			"plans", eng.NumPlans(), "walRecordsReplayed", stats.RecoveredRecords,
+			"tornTailsTruncated", stats.RecoveryTruncations)
 	} else {
 		// The engine caches parsed queries, so repeated searches over the
 		// API skip the SPARQL parser entirely.
@@ -104,14 +137,29 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		log.Printf("loaded %d plan(s) from %s", n, *load)
+		log.Info("workload loaded", "dir", *load, "plans", n)
 	}
-	log.Printf("knowledge base: %d entries", base.Len())
+	log.Info("knowledge base ready", "entries", base.Len())
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(eng, base, serverOpts...).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(reg),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Info("debug listener up (pprof + metrics)", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener failed", "error", err)
+			}
+		}()
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests and flush
@@ -121,7 +169,7 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("optimatchd listening on %s", *addr)
+		log.Info("optimatchd listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -131,9 +179,12 @@ func run() error {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("shutting down (draining for up to %s)", shutdownTimeout)
+	log.Info("shutting down", "drainTimeout", shutdownTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("draining: %w", err)
 	}
@@ -144,9 +195,22 @@ func run() error {
 		if err := st.Close(); err != nil {
 			return err
 		}
-		log.Printf("store flushed and closed")
+		log.Info("store flushed and closed")
 	}
 	return nil
+}
+
+// debugMux serves pprof and the metrics registry on the -debug-addr
+// listener, which is meant to stay private (bind it to localhost).
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", reg.Handler())
+	return mux
 }
 
 // loadKB resolves the -kb/-extended flags to a knowledge base.
@@ -168,7 +232,8 @@ func loadKB(kbFile string, extended bool) (*kb.KnowledgeBase, error) {
 
 // loadDir seeds the engine from a directory of explain files. With a store,
 // plans go through the durable ingest path and already-recovered IDs are
-// skipped, so -load -data restarts are idempotent.
+// skipped (core.ErrDuplicatePlan — the same sentinel the server maps to
+// 409), so -load -data restarts are idempotent.
 func loadDir(eng *core.Engine, st *store.Store, dir string) (int, error) {
 	if st == nil {
 		return eng.LoadDir(dir)

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"optimatch/internal/kb"
 	"optimatch/internal/pattern"
@@ -75,7 +76,11 @@ type Engine struct {
 	pfProbed  atomic.Int64
 	pfSkipped atomic.Int64
 
-	queries queryCache
+	queries     queryCache
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	evalStats   sparql.EvalStats
+	instr       Instrumentation
 }
 
 // New returns an empty engine.
@@ -93,11 +98,16 @@ func New(opts ...Option) *Engine {
 
 // evalOpts returns the SPARQL evaluation options in effect: disabling the
 // prefilter also pins evaluation to the unspecialized baseline so
-// WithPrefilter(false) ablates the whole acceleration path at once.
+// WithPrefilter(false) ablates the whole acceleration path at once. The
+// engine's own evaluator-dispatch counters are attached unless the caller
+// supplied their own through WithExecOptions.
 func (e *Engine) evalOpts() sparql.ExecOptions {
 	opts := e.execOpts
 	if !e.prefilter {
 		opts.DisableSpecialization = true
+	}
+	if opts.Stats == nil {
+		opts.Stats = &e.evalStats
 	}
 	return opts
 }
@@ -232,6 +242,17 @@ func (e *Engine) Plan(id string) *qep.Plan {
 	return nil
 }
 
+// Result returns the transformed plan with the given ID, or nil. The result
+// is the engine's own — the exact graph matches run against — so callers
+// (the /api/plans/{id}/rdf endpoint) serve what the engine sees instead of
+// paying for a fresh transformation whose blank-node labels might differ.
+// Results are immutable after load and safe for concurrent readers.
+func (e *Engine) Result(id string) *transform.Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.byID[id]
+}
+
 // Binding is one de-transformed result-handler binding of a match.
 type Binding struct {
 	Alias    string
@@ -290,7 +311,7 @@ func (e *Engine) FindCompiled(c *pattern.Compiled) ([]Match, error) {
 // FindSPARQL matches a raw SPARQL query against every loaded plan. Every
 // projected column becomes a binding; resources are de-transformed.
 func (e *Engine) FindSPARQL(query string) ([]Match, error) {
-	q, err := e.queries.get(query)
+	q, err := e.getQuery(query)
 	if err != nil {
 		return nil, err
 	}
@@ -298,6 +319,9 @@ func (e *Engine) FindSPARQL(query string) ([]Match, error) {
 	e.mu.RLock()
 	plans := append([]*transform.Result(nil), e.plans...)
 	e.mu.RUnlock()
+	if e.instr.Search != nil {
+		defer func(start time.Time) { e.instr.Search(time.Since(start), len(plans)) }(time.Now())
+	}
 
 	type chunk struct {
 		matches []Match
@@ -323,7 +347,7 @@ func (e *Engine) FindSPARQL(query string) ([]Match, error) {
 }
 
 func (e *Engine) matchPlan(q *sparql.Query, r *transform.Result) ([]Match, error) {
-	res, err := q.ExecOpts(r.Graph, e.evalOpts())
+	res, err := e.execTimed(q, r)
 	if err != nil {
 		return nil, fmt.Errorf("core: plan %s: %w", r.Plan.ID, err)
 	}
@@ -344,6 +368,19 @@ func (e *Engine) matchPlan(q *sparql.Query, r *transform.Result) ([]Match, error
 		out = append(out, m)
 	}
 	return out, nil
+}
+
+// execTimed evaluates one (query, plan) pair, reporting the evaluation
+// latency to the PlanMatch hook. With no hook installed the only overhead
+// is one nil check.
+func (e *Engine) execTimed(q *sparql.Query, r *transform.Result) (*sparql.Results, error) {
+	if e.instr.PlanMatch == nil {
+		return q.ExecOpts(r.Graph, e.evalOpts())
+	}
+	start := time.Now()
+	res, err := q.ExecOpts(r.Graph, e.evalOpts())
+	e.instr.PlanMatch(time.Since(start))
+	return res, err
 }
 
 // PlanReport is the knowledge-base outcome for one plan: ranked
@@ -374,7 +411,7 @@ func (e *Engine) RunKB(k *kb.KnowledgeBase) ([]PlanReport, error) {
 	// Parse every entry query once (cached across RunKB calls).
 	entries := make([]compiledEntry, 0, k.Len())
 	for _, entry := range k.Entries() {
-		q, err := e.queries.get(entry.SPARQL)
+		q, err := e.getQuery(entry.SPARQL)
 		if err != nil {
 			return nil, fmt.Errorf("core: kb entry %q: %w", entry.Name, err)
 		}
@@ -384,6 +421,9 @@ func (e *Engine) RunKB(k *kb.KnowledgeBase) ([]PlanReport, error) {
 	e.mu.RLock()
 	plans := append([]*transform.Result(nil), e.plans...)
 	e.mu.RUnlock()
+	if e.instr.KBScan != nil {
+		defer func(start time.Time) { e.instr.KBScan(time.Since(start), len(plans), len(entries)) }(time.Now())
+	}
 
 	reports := make([]PlanReport, len(plans))
 	errs := make([]error, len(plans))
@@ -414,7 +454,7 @@ func (e *Engine) planReport(entries []compiledEntry, r *transform.Result) (PlanR
 		if !e.mayMatch(ce.analysis, r) {
 			continue
 		}
-		res, err := ce.query.ExecOpts(r.Graph, e.evalOpts())
+		res, err := e.execTimed(ce.query, r)
 		if err != nil {
 			return report, fmt.Errorf("core: plan %s, entry %s: %w", r.Plan.ID, ce.entry.Name, err)
 		}

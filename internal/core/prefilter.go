@@ -10,6 +10,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"optimatch/internal/sparql"
 	"optimatch/internal/transform"
@@ -42,6 +43,16 @@ func (e *Engine) mayMatch(a *sparql.Analysis, r *transform.Result) bool {
 		return true
 	}
 	e.pfProbed.Add(1)
+	if hook := e.instr.PrefilterProbe; hook != nil {
+		start := time.Now()
+		ok := a.RequiredIn(r.Graph)
+		d := time.Since(start)
+		if !ok {
+			e.pfSkipped.Add(1)
+		}
+		hook(d, !ok)
+		return ok
+	}
 	if a.RequiredIn(r.Graph) {
 		return true
 	}
@@ -56,6 +67,9 @@ func (e *Engine) forEachPlan(plans []*transform.Result, fn func(i int, r *transf
 	workers := e.workers
 	if workers > len(plans) {
 		workers = len(plans)
+	}
+	if e.instr.Pool != nil {
+		e.instr.Pool(max(workers, 1), len(plans))
 	}
 	if workers <= 1 {
 		for i, r := range plans {
@@ -97,16 +111,18 @@ type queryCache struct {
 	m  map[string]*sparql.Query
 }
 
-func (c *queryCache) get(text string) (*sparql.Query, error) {
+// get reports whether the query was served from the cache (a parse failure
+// counts as a miss: the parser ran).
+func (c *queryCache) get(text string) (q *sparql.Query, hit bool, err error) {
 	c.mu.Lock()
 	q, ok := c.m[text]
 	c.mu.Unlock()
 	if ok {
-		return q, nil
+		return q, true, nil
 	}
-	q, err := sparql.Parse(text)
+	q, err = sparql.Parse(text)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -120,5 +136,12 @@ func (c *queryCache) get(text string) (*sparql.Query, error) {
 		}
 	}
 	c.m[text] = q
-	return q, nil
+	return q, false, nil
+}
+
+// len reports how many parsed queries are cached.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }

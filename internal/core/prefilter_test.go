@@ -248,18 +248,28 @@ func TestWorkerPoolParallel(t *testing.T) {
 func TestQueryCacheReuse(t *testing.T) {
 	e := New()
 	text := transform.Prologue + `SELECT ?pop WHERE { ?pop preduri:hasPopType "TBSCAN" }`
-	q1, err := e.queries.get(text)
+	q1, hit, err := e.queries.get(text)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q2, err := e.queries.get(text)
+	if hit {
+		t.Error("first lookup reported a cache hit")
+	}
+	q2, hit, err := e.queries.get(text)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second lookup reported a cache miss")
 	}
 	if q1 != q2 {
 		t.Error("query cache re-parsed identical text")
 	}
-	if _, err := e.queries.get("SELECT nonsense"); err == nil {
+	if _, _, err := e.queries.get("SELECT nonsense"); err == nil {
 		t.Error("cache swallowed a parse error")
+	}
+	stats := e.CacheStats()
+	if stats.Size != 1 {
+		t.Errorf("cache size = %d, want 1", stats.Size)
 	}
 }

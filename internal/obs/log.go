@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// NewLogger builds a slog.Logger writing to w at the given level. Format is
+// "json" or "text" (the optimatchd -log-format flag).
+func NewLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLevel maps a -log-level flag value ("debug", "info", "warn",
+// "error", case-insensitive) to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("obs: unknown log level %q", s)
+	}
+	return l, nil
+}
+
+// Request IDs are a per-process random prefix plus a sequence number:
+// unique across restarts, cheap to mint, and greppable as a pair.
+var (
+	ridPrefix = func() string {
+		var b [4]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Uint64
+)
+
+// NewRequestID mints a request ID like "3fa9c12b-000017".
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridPrefix, ridSeq.Add(1))
+}
+
+type ctxKey struct{}
+
+// WithRequestID stamps the ID into the context so handlers deeper in the
+// stack can tag their own log lines.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestIDFrom returns the stamped request ID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

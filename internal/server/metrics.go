@@ -1,0 +1,146 @@
+package server
+
+import (
+	"time"
+
+	"optimatch/internal/core"
+	"optimatch/internal/obs"
+	"optimatch/internal/store"
+)
+
+// Metric names follow one convention: optimatch_<layer>_<what>_<unit>, with
+// low-cardinality labels only (route patterns, outcome enums — never plan
+// IDs or query text). See DESIGN.md §10 for the full catalogue.
+
+// EngineInstrumentation bridges the engine's scan-stage hooks into the
+// registry. Install it where the engine is constructed:
+//
+//	core.New(core.WithInstrumentation(server.EngineInstrumentation(reg)))
+//
+// core itself never imports obs — it publishes timings through the hook
+// struct, and this adapter owns the metric names.
+func EngineInstrumentation(reg *obs.Registry) core.Instrumentation {
+	const probeName = "optimatch_core_prefilter_probe_seconds"
+	const probeHelp = "Vocabulary prefilter probe latency by outcome (pass: pair goes on to evaluation, skip: discarded)."
+	probePass := reg.Histogram(probeName, probeHelp, obs.MicroBuckets, "outcome", "pass")
+	probeSkip := reg.Histogram(probeName, probeHelp, obs.MicroBuckets, "outcome", "skip")
+	match := reg.Histogram("optimatch_core_plan_match_seconds",
+		"SPARQL evaluation latency per (plan, query) pair that passed the prefilter.", nil)
+	kbScan := reg.Histogram("optimatch_core_kb_scan_seconds",
+		"Wall time of one whole RunKB pass over the workload.", nil)
+	search := reg.Histogram("optimatch_core_search_seconds",
+		"Wall time of one whole pattern/SPARQL search over the workload.", nil)
+	poolWorkers := reg.Gauge("optimatch_core_pool_workers",
+		"Workers used by the most recent scan fan-out.")
+	poolTasks := reg.Counter("optimatch_core_pool_tasks_total",
+		"Per-plan tasks dispatched to the worker pool.")
+	poolFanouts := reg.Counter("optimatch_core_pool_fanouts_total",
+		"Scan fan-outs dispatched to the worker pool.")
+	return core.Instrumentation{
+		PrefilterProbe: func(d time.Duration, skipped bool) {
+			if skipped {
+				probeSkip.ObserveDuration(d)
+			} else {
+				probePass.ObserveDuration(d)
+			}
+		},
+		PlanMatch: func(d time.Duration) { match.ObserveDuration(d) },
+		KBScan:    func(d time.Duration, _, _ int) { kbScan.ObserveDuration(d) },
+		Search:    func(d time.Duration, _ int) { search.ObserveDuration(d) },
+		Pool: func(workers, tasks int) {
+			poolWorkers.Set(int64(workers))
+			poolTasks.Add(int64(tasks))
+			poolFanouts.Inc()
+		},
+	}
+}
+
+// StoreInstrumentation bridges the durable store's hooks into the registry.
+// Install it at store.Open time via store.WithInstrumentation.
+func StoreInstrumentation(reg *obs.Registry) store.Instrumentation {
+	walWrite := reg.Histogram("optimatch_store_wal_append_seconds",
+		"Buffered write latency of one WAL record (excludes fsync).", obs.MicroBuckets)
+	walSync := reg.Histogram("optimatch_store_wal_fsync_seconds",
+		"fsync latency of one WAL append — the durability cost every acknowledged mutation pays.", nil)
+	const compactName = "optimatch_store_compaction_seconds"
+	const compactHelp = "Snapshot compaction duration by result."
+	compactOK := reg.Histogram(compactName, compactHelp, nil, "result", "ok")
+	compactErr := reg.Histogram(compactName, compactHelp, nil, "result", "error")
+	recovery := reg.Gauge("optimatch_store_recovery_seconds_micro",
+		"Duration of the recovery pass at open, in microseconds.")
+	return store.Instrumentation{
+		WALAppend: func(write, sync time.Duration, _ int) {
+			walWrite.ObserveDuration(write)
+			walSync.ObserveDuration(sync)
+		},
+		Compaction: func(d time.Duration, ok bool) {
+			if ok {
+				compactOK.ObserveDuration(d)
+			} else {
+				compactErr.ObserveDuration(d)
+			}
+		},
+		Recovery: func(d time.Duration, _, _ int64) {
+			recovery.Set(d.Microseconds())
+		},
+	}
+}
+
+// registerStateMetrics exports the counters that already live as atomics in
+// core, sparql and store as scrape-time functions, so /metrics covers every
+// layer even when the engine was built without EngineInstrumentation.
+func (s *Server) registerStateMetrics() {
+	reg := s.metrics
+	reg.GaugeFunc("optimatch_core_plans_loaded", "Plans currently loaded in the engine.",
+		func() float64 { return float64(s.eng.NumPlans()) })
+	reg.GaugeFunc("optimatch_kb_entries", "Knowledge-base entries currently served.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.kb.Len())
+		})
+
+	const cacheName = "optimatch_core_query_cache_total"
+	const cacheHelp = "Parse-once query cache lookups by result."
+	reg.CounterFunc(cacheName, cacheHelp, func() float64 { return float64(s.eng.CacheStats().Hits) }, "result", "hit")
+	reg.CounterFunc(cacheName, cacheHelp, func() float64 { return float64(s.eng.CacheStats().Misses) }, "result", "miss")
+
+	const pfName = "optimatch_core_prefilter_pairs_total"
+	const pfHelp = "(plan, query) pairs probed by the vocabulary prefilter, by outcome."
+	reg.CounterFunc(pfName, pfHelp, func() float64 {
+		st := s.eng.PrefilterStats()
+		return float64(st.Probed - st.Skipped)
+	}, "outcome", "passed")
+	reg.CounterFunc(pfName, pfHelp, func() float64 { return float64(s.eng.PrefilterStats().Skipped) }, "outcome", "skipped")
+
+	const evalName = "optimatch_sparql_eval_total"
+	const evalHelp = "SPARQL executions by evaluator path."
+	reg.CounterFunc(evalName, evalHelp, func() float64 { return float64(s.eng.EvalStats().Specialized) }, "path", "specialized")
+	reg.CounterFunc(evalName, evalHelp, func() float64 { return float64(s.eng.EvalStats().Fallback) }, "path", "fallback")
+	reg.CounterFunc(evalName, evalHelp, func() float64 { return float64(s.eng.EvalStats().ConstantBailouts) }, "path", "constant_bailout")
+
+	if s.st == nil {
+		return
+	}
+	stat := func(f func(store.Stats) float64) func() float64 {
+		return func() float64 { return f(s.st.Stats()) }
+	}
+	reg.GaugeFunc("optimatch_store_wal_records", "Records currently in the WAL.",
+		stat(func(st store.Stats) float64 { return float64(st.WALRecords) }))
+	reg.GaugeFunc("optimatch_store_wal_bytes", "Bytes currently in the WAL.",
+		stat(func(st store.Stats) float64 { return float64(st.WALBytes) }))
+	reg.GaugeFunc("optimatch_store_generation", "Snapshot compaction generation.",
+		stat(func(st store.Stats) float64 { return float64(st.Generation) }))
+	reg.GaugeFunc("optimatch_store_last_seq", "Newest applied log sequence number.",
+		stat(func(st store.Stats) float64 { return float64(st.LastSeq) }))
+	reg.CounterFunc("optimatch_store_appended_records_total", "WAL records appended since open.",
+		stat(func(st store.Stats) float64 { return float64(st.AppendedRecords) }))
+	reg.CounterFunc("optimatch_store_appended_bytes_total", "WAL bytes appended since open.",
+		stat(func(st store.Stats) float64 { return float64(st.AppendedBytes) }))
+	reg.CounterFunc("optimatch_store_recovered_records_total", "WAL records replayed at open.",
+		stat(func(st store.Stats) float64 { return float64(st.RecoveredRecords) }))
+	reg.CounterFunc("optimatch_store_recovery_truncations_total", "Torn WAL tails truncated at open.",
+		stat(func(st store.Stats) float64 { return float64(st.RecoveryTruncations) }))
+	reg.CounterFunc("optimatch_store_compactions_total", "Compactions since open.",
+		stat(func(st store.Stats) float64 { return float64(st.Compactions) }))
+}

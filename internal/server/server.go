@@ -28,17 +28,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"optimatch/internal/core"
 	"optimatch/internal/kb"
+	"optimatch/internal/obs"
 	"optimatch/internal/pattern"
 	"optimatch/internal/qep"
 	"optimatch/internal/rdf"
+	"optimatch/internal/sparql"
 	"optimatch/internal/store"
-	"optimatch/internal/transform"
 )
 
 // maxBodyBytes bounds uploaded explain files and queries.
@@ -48,6 +51,11 @@ const maxBodyBytes = 16 << 20
 type Server struct {
 	eng *core.Engine
 	st  *store.Store // nil when running in-memory only
+
+	log     *slog.Logger  // nil: no access logging
+	metrics *obs.Registry // nil: no /metrics endpoint
+	slow    time.Duration // 0: no slow-request log line
+	maxBody int64
 
 	// mu guards kb access: mutation handlers hold the write lock (also
 	// around write-through store calls), read handlers the read lock.
@@ -66,13 +74,43 @@ func WithStore(st *store.Store) Option {
 	return func(s *Server) { s.st = st }
 }
 
+// WithLogger enables the structured access log (one line per request,
+// tagged with the request ID) on the given logger.
+func WithLogger(log *slog.Logger) Option {
+	return func(s *Server) { s.log = log }
+}
+
+// WithMetrics serves the registry at GET /metrics and instruments every
+// route with request counters and latency histograms. The registry is
+// usually the same one wired into the engine via EngineInstrumentation and
+// the store via StoreInstrumentation, so one scrape covers every layer.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithSlowThreshold logs a WARN line for any request that takes at least d
+// (requires WithLogger; 0 disables).
+func WithSlowThreshold(d time.Duration) Option {
+	return func(s *Server) { s.slow = d }
+}
+
+// WithMaxBody overrides the request-body size limit (default 16 MiB).
+// Oversized bodies are rejected with 413 Request Entity Too Large.
+func WithMaxBody(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
 // New returns a server over the given engine and knowledge base. A nil
 // knowledge base starts with the canonical expert patterns.
 func New(eng *core.Engine, base *kb.KnowledgeBase, opts ...Option) *Server {
 	if base == nil {
 		base = kb.MustCanonical()
 	}
-	s := &Server{eng: eng, kb: base}
+	s := &Server{eng: eng, kb: base, maxBody: maxBodyBytes}
 	for _, o := range opts {
 		o(s)
 	}
@@ -98,7 +136,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/kb/run", s.handleRunKB)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("POST /api/admin/compact", s.handleCompact)
-	return mux
+	if s.metrics != nil {
+		mux.Handle("GET /metrics", s.metrics.Handler())
+		s.registerStateMetrics()
+	}
+	return s.withObservability(mux)
 }
 
 type errorBody struct {
@@ -117,12 +159,25 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-func readBody(r *http.Request) (string, error) {
-	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+// readBody reads the request body under the configured size limit. The real
+// ResponseWriter goes to MaxBytesReader so oversized requests also close the
+// connection instead of leaving the unread tail to stall keep-alive.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (string, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		return "", fmt.Errorf("reading request body: %w", err)
 	}
 	return string(data), nil
+}
+
+// bodyErrStatus maps a readBody failure to its status: an oversized body is
+// the client's 413, anything else a plain 400.
+func bodyErrStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // planInfo is the list representation of a loaded plan.
@@ -143,9 +198,9 @@ func (s *Server) handleListPlans(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleUploadPlan(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
+	body, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
 	var p *qep.Plan
@@ -155,8 +210,14 @@ func (s *Server) handleUploadPlan(w http.ResponseWriter, r *http.Request) {
 		p, err = s.eng.LoadText(body)
 	}
 	if err != nil {
+		// A duplicate ID is a conflict with served state, not a malformed
+		// plan: 409 lets idempotent re-uploads (the optimatchd -load path)
+		// distinguish "already there" from "rejected".
 		status := http.StatusUnprocessableEntity
-		if errors.Is(err, store.ErrPersist) || errors.Is(err, store.ErrClosed) {
+		switch {
+		case errors.Is(err, core.ErrDuplicatePlan):
+			status = http.StatusConflict
+		case errors.Is(err, store.ErrPersist) || errors.Is(err, store.ErrClosed):
 			status = http.StatusInternalServerError
 		}
 		writeError(w, status, err)
@@ -206,11 +267,15 @@ func (s *Server) handleRenderPlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePlanRDF(w http.ResponseWriter, r *http.Request) {
-	p := s.plan(w, r)
-	if p == nil {
+	// Serve the engine's own transformed graph: no O(plan) re-transform per
+	// GET, and the bytes are exactly the graph matches run against (a fresh
+	// Transform could differ in blank-node labels).
+	id := r.PathValue("id")
+	res := s.eng.Result(id)
+	if res == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("plan %q not loaded", id))
 		return
 	}
-	res := transform.Transform(p)
 	w.Header().Set("Content-Type", "application/n-triples")
 	_ = rdf.WriteNTriples(w, res.Graph)
 }
@@ -234,9 +299,9 @@ func matchesToWire(ms []core.Match) []matchBody {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
+	body, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
 	p, err := pattern.FromJSON([]byte(body))
@@ -256,9 +321,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
-	query, err := readBody(r)
+	query, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
 	if strings.TrimSpace(query) == "" {
@@ -297,9 +362,9 @@ type addEntryRequest struct {
 }
 
 func (s *Server) handleAddEntry(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
+	body, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
 	var req addEntryRequest
@@ -398,12 +463,16 @@ func (s *Server) handleRunKB(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// statsBody is the GET /api/stats response.
+// statsBody is the GET /api/stats response. New counter groups are only
+// ever added — existing fields never change shape, so old clients keep
+// decoding it.
 type statsBody struct {
-	Plans     int                 `json:"plans"`
-	KBEntries int                 `json:"kbEntries"`
-	Prefilter core.PrefilterStats `json:"prefilter"`
-	Store     *store.Stats        `json:"store,omitempty"` // nil without -data
+	Plans      int                 `json:"plans"`
+	KBEntries  int                 `json:"kbEntries"`
+	Prefilter  core.PrefilterStats `json:"prefilter"`
+	QueryCache core.CacheStats     `json:"queryCache"`
+	Eval       sparql.EvalSnapshot `json:"eval"`
+	Store      *store.Stats        `json:"store,omitempty"` // nil without -data
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -411,9 +480,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	entries := s.kb.Len()
 	s.mu.RUnlock()
 	body := statsBody{
-		Plans:     s.eng.NumPlans(),
-		KBEntries: entries,
-		Prefilter: s.eng.PrefilterStats(),
+		Plans:      s.eng.NumPlans(),
+		KBEntries:  entries,
+		Prefilter:  s.eng.PrefilterStats(),
+		QueryCache: s.eng.CacheStats(),
+		Eval:       s.eng.EvalStats(),
 	}
 	if s.st != nil {
 		st := s.st.Stats()

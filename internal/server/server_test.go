@@ -94,8 +94,8 @@ func TestUploadRenderAndRDF(t *testing.T) {
 	if info.ID != "QCSE" || info.Operators != 8 {
 		t.Errorf("uploaded = %+v", info)
 	}
-	// Duplicate upload rejected.
-	postBody(t, ts.URL+"/api/plans", qep.Text(extra), http.StatusUnprocessableEntity, nil)
+	// Duplicate upload rejected as a conflict with served state.
+	postBody(t, ts.URL+"/api/plans", qep.Text(extra), http.StatusConflict, nil)
 	// Garbage rejected.
 	postBody(t, ts.URL+"/api/plans", "not a plan", http.StatusUnprocessableEntity, nil)
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"optimatch/internal/rdf"
 )
@@ -23,6 +24,41 @@ type ExecOptions struct {
 	// re-resolves terms against the dictionary as it goes. Used by the
 	// ablation benchmarks; results are identical either way.
 	DisableSpecialization bool
+
+	// Stats, when non-nil, tallies which evaluator ran for each execution.
+	// The same EvalStats may be shared by concurrent evaluations (the
+	// counters are atomic); nil costs nothing on the hot path.
+	Stats *EvalStats
+}
+
+// EvalStats counts evaluator dispatch decisions across executions. The zero
+// value is ready to use; all fields are atomic so one instance can be shared
+// by every worker of an engine.
+type EvalStats struct {
+	specialized     atomic.Int64
+	fallback        atomic.Int64
+	constantBailout atomic.Int64
+}
+
+// EvalSnapshot is a point-in-time copy of EvalStats, in wire form.
+type EvalSnapshot struct {
+	// Specialized counts executions on the ID-space specialized path.
+	Specialized int64 `json:"specialized"`
+	// Fallback counts executions on the legacy term-space path.
+	Fallback int64 `json:"fallback"`
+	// ConstantBailouts counts specialized executions that skipped WHERE
+	// evaluation entirely because a required constant was missing from the
+	// graph's vocabulary (a subset of Specialized).
+	ConstantBailouts int64 `json:"constantBailouts"`
+}
+
+// Snapshot returns the current counter values.
+func (s *EvalStats) Snapshot() EvalSnapshot {
+	return EvalSnapshot{
+		Specialized:      s.specialized.Load(),
+		Fallback:         s.fallback.Load(),
+		ConstantBailouts: s.constantBailout.Load(),
+	}
 }
 
 // Results is a solution table: one row per solution, one column per
@@ -71,7 +107,13 @@ func (q *Query) Exec(g *rdf.Graph) (*Results, error) {
 // ExecOpts evaluates the query against g.
 func (q *Query) ExecOpts(g *rdf.Graph, opts ExecOptions) (*Results, error) {
 	if !opts.DisableSpecialization {
+		if opts.Stats != nil {
+			opts.Stats.specialized.Add(1)
+		}
 		return q.execSpecialized(g, opts)
+	}
+	if opts.Stats != nil {
+		opts.Stats.fallback.Add(1)
 	}
 	ctx := newEvalCtx(g, q, opts)
 	seed := []solution{ctx.emptySolution()}

@@ -180,6 +180,8 @@ func (q *Query) execSpecialized(g *rdf.Graph, opts ExecOptions) (*Results, error
 		if err != nil {
 			return nil, err
 		}
+	} else if opts.Stats != nil {
+		opts.Stats.constantBailout.Add(1)
 	}
 	if q.usesAggregation() {
 		if q.Star {

@@ -43,6 +43,30 @@ type config struct {
 	engineOpts  []core.Option
 	defaultKB   *kb.KnowledgeBase
 	autoCompact int64
+	instr       Instrumentation
+}
+
+// Instrumentation receives durability-path timings from the store. Any
+// field may be nil; hooks are invoked under the store mutex and must not
+// call back into the store.
+type Instrumentation struct {
+	// WALAppend observes one journaled mutation: how long the buffered
+	// write and the fsync took, and the record size. The fsync is the
+	// dominant, highly variable term — every acknowledged mutation pays it.
+	WALAppend func(write, sync time.Duration, bytes int)
+
+	// Compaction observes one snapshot compaction (manual or automatic)
+	// and whether it succeeded.
+	Compaction func(d time.Duration, ok bool)
+
+	// Recovery observes the one recovery pass Open performs: wall time,
+	// WAL records replayed, torn tails truncated.
+	Recovery func(d time.Duration, records, truncations int64)
+}
+
+// WithInstrumentation installs durability-path hooks.
+func WithInstrumentation(in Instrumentation) Option {
+	return func(c *config) { c.instr = in }
 }
 
 // WithEngineOptions forwards options to the recovered engine.
@@ -80,6 +104,7 @@ type Store struct {
 	seq         uint64 // last applied log sequence number
 	generation  uint64 // compaction generation
 	autoCompact int64
+	instr       Instrumentation
 
 	walRecords    int64
 	walBytes      int64
@@ -120,7 +145,8 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, eng: core.New(cfg.engineOpts...), autoCompact: cfg.autoCompact}
+	s := &Store{dir: dir, eng: core.New(cfg.engineOpts...), autoCompact: cfg.autoCompact, instr: cfg.instr}
+	recoverStart := time.Now()
 
 	snap, err := readSnapshot(dir)
 	if err != nil {
@@ -172,6 +198,9 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		return nil, fmt.Errorf("store: opening WAL for append: %w", err)
 	}
 	s.wal = f
+	if s.instr.Recovery != nil {
+		s.instr.Recovery(time.Since(recoverStart), s.recovered, s.truncations)
+	}
 	return s, nil
 }
 
@@ -242,11 +271,16 @@ func (s *Store) appendLocked(rec *record) error {
 	if err != nil {
 		return err
 	}
+	writeStart := time.Now()
 	if _, err := s.wal.Write(buf); err != nil {
 		return fmt.Errorf("%w: appending record: %v", ErrPersist, err)
 	}
+	syncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("%w: syncing WAL: %v", ErrPersist, err)
+	}
+	if s.instr.WALAppend != nil {
+		s.instr.WALAppend(syncStart.Sub(writeStart), time.Since(syncStart), len(buf))
 	}
 	s.walRecords++
 	s.walBytes += int64(len(buf))
@@ -372,7 +406,10 @@ func (s *Store) Compact() error {
 	return s.compactLocked()
 }
 
-func (s *Store) compactLocked() error {
+func (s *Store) compactLocked() (err error) {
+	if s.instr.Compaction != nil {
+		defer func(start time.Time) { s.instr.Compaction(time.Since(start), err == nil) }(time.Now())
+	}
 	snap, err := buildSnapshot(s.generation+1, s.seq, s.eng.Plans(), s.base)
 	if err != nil {
 		return err
