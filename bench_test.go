@@ -103,11 +103,12 @@ func renderReports(reports []core.PlanReport) string {
 // under three engine configurations:
 //
 //	accelerated    — vocabulary prefilter + per-graph query specialization
+//	no-path-index  — WithPathIndex(false): path-closure acceleration ablated
 //	prefilter-only — vocabulary prefilter, legacy term-space evaluator
 //	baseline       — WithPrefilter(false): no prefilter, legacy evaluator
 //
-// Setup verifies once that accelerated and baseline produce byte-identical
-// reports; the benchmark then times each configuration.
+// Setup verifies once that accelerated, no-path-index and baseline produce
+// byte-identical reports; the benchmark then times each configuration.
 func BenchmarkFigure8KBScan(b *testing.B) {
 	rs, _ := benchResults(b, fig9Config(1000))
 	k := kb.MustExtended()
@@ -121,6 +122,7 @@ func BenchmarkFigure8KBScan(b *testing.B) {
 		return e
 	}
 	fast := build()
+	noPath := build(core.WithPathIndex(false))
 	mid := build(core.WithExecOptions(sparql.ExecOptions{DisableSpecialization: true}))
 	slow := build(core.WithPrefilter(false))
 	// Same configuration as fast but with the full metrics pipeline attached,
@@ -138,6 +140,13 @@ func BenchmarkFigure8KBScan(b *testing.B) {
 	if renderReports(fastReports) != renderReports(slowReports) {
 		b.Fatal("accelerated and baseline KB reports differ")
 	}
+	noPathReports, err := noPath.RunKB(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if renderReports(fastReports) != renderReports(noPathReports) {
+		b.Fatal("path-index ablation changed KB reports")
+	}
 
 	for _, cfg := range []struct {
 		name string
@@ -145,6 +154,7 @@ func BenchmarkFigure8KBScan(b *testing.B) {
 	}{
 		{"accelerated", fast},
 		{"instrumented", instrumented},
+		{"no-path-index", noPath},
 		{"prefilter-only", mid},
 		{"baseline", slow},
 	} {

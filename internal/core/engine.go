@@ -63,6 +63,17 @@ func WithPrefilter(enabled bool) Option {
 	return func(e *Engine) { e.prefilter = enabled }
 }
 
+// WithPathIndex toggles the path-closure acceleration layer (default on):
+// per-predicate CSR adjacency snapshots cached on each plan graph, bitset
+// BFS with pooled buffers, cardinality-chosen walk direction and
+// per-evaluation closure memoization. When disabled, arbitrary-length
+// property paths (`input+` descendant searches) fall back to the seed-era
+// per-start map BFS. This is the path-acceleration ablation switch,
+// mirroring WithPrefilter; results are identical either way.
+func WithPathIndex(enabled bool) Option {
+	return func(e *Engine) { e.pathIndex = enabled }
+}
+
 // Engine holds a workload of transformed plans and matches patterns against
 // it.
 type Engine struct {
@@ -73,6 +84,7 @@ type Engine struct {
 	execOpts sparql.ExecOptions
 
 	prefilter bool
+	pathIndex bool
 	pfProbed  atomic.Int64
 	pfSkipped atomic.Int64
 
@@ -89,6 +101,7 @@ func New(opts ...Option) *Engine {
 		byID:      make(map[string]*transform.Result),
 		workers:   runtime.GOMAXPROCS(0),
 		prefilter: true,
+		pathIndex: true,
 	}
 	for _, o := range opts {
 		o(e)
@@ -105,6 +118,9 @@ func (e *Engine) evalOpts() sparql.ExecOptions {
 	opts := e.execOpts
 	if !e.prefilter {
 		opts.DisableSpecialization = true
+	}
+	if !e.pathIndex {
+		opts.DisablePathIndex = true
 	}
 	if opts.Stats == nil {
 		opts.Stats = &e.evalStats

@@ -1,5 +1,7 @@
 package rdf
 
+import "sync/atomic"
+
 // Graph is an in-memory RDF graph (triple store). Triples are dictionary
 // encoded: every term is interned to a dense ID and three permutation
 // indexes (SPO, POS, OSP) answer every bound/unbound combination of a triple
@@ -20,6 +22,10 @@ type Graph struct {
 	// scan. The slices above remain the iteration source for Match, so
 	// insertion order is preserved either way.
 	spoSets map[[2]ID]map[ID]struct{}
+
+	// acc holds the lazily built path-acceleration snapshots (per-predicate
+	// CSR adjacency, distinct-node list); see csr.go. Add invalidates it.
+	acc atomic.Pointer[accel]
 
 	size int
 }
@@ -57,6 +63,7 @@ func (g *Graph) AddTriple(t Triple) bool { return g.Add(t.S, t.P, t.O) }
 // AddIDs inserts a triple given already-interned IDs. It reports whether the
 // triple was newly inserted.
 func (g *Graph) AddIDs(s, p, o ID) bool {
+	g.invalidateAccel()
 	ps := g.spo[s]
 	if ps == nil {
 		ps = make(map[ID][]ID)

@@ -119,6 +119,19 @@ func (s *Server) registerStateMetrics() {
 	reg.CounterFunc(evalName, evalHelp, func() float64 { return float64(s.eng.EvalStats().Fallback) }, "path", "fallback")
 	reg.CounterFunc(evalName, evalHelp, func() float64 { return float64(s.eng.EvalStats().ConstantBailouts) }, "path", "constant_bailout")
 
+	const pathName = "optimatch_sparql_path_total"
+	const pathHelp = "Property-path closure acceleration events by kind (CSR snapshot builds/cache hits, per-evaluation memo hits/misses)."
+	reg.CounterFunc(pathName, pathHelp, func() float64 { return float64(s.eng.EvalStats().Path.CSRBuilds) }, "kind", "csr_build")
+	reg.CounterFunc(pathName, pathHelp, func() float64 { return float64(s.eng.EvalStats().Path.CSRHits) }, "kind", "csr_hit")
+	reg.CounterFunc(pathName, pathHelp, func() float64 { return float64(s.eng.EvalStats().Path.MemoHits) }, "kind", "memo_hit")
+	reg.CounterFunc(pathName, pathHelp, func() float64 { return float64(s.eng.EvalStats().Path.MemoMisses) }, "kind", "memo_miss")
+	reg.CounterFunc("optimatch_sparql_path_bfs_steps_total",
+		"Edges traversed by closure BFS walks.",
+		func() float64 { return float64(s.eng.EvalStats().Path.BFSSteps) })
+	reg.CounterFunc("optimatch_sparql_path_bitset_bytes_total",
+		"Bytes allocated for closure visited bitsets (pool misses).",
+		func() float64 { return float64(s.eng.EvalStats().Path.BitsetBytes) })
+
 	if s.st == nil {
 		return
 	}

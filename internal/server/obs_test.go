@@ -236,6 +236,12 @@ SELECT ?s WHERE { ?s preduri:hasPopType "SORT" }`
 		`optimatch_core_plans_loaded`,
 		`optimatch_core_query_cache_total{result="miss"}`,
 		`optimatch_sparql_eval_total{path="specialized"}`,
+		// The canonical KB patterns use descendant (`hasChildPop+`) paths,
+		// so a kb/run must build CSR snapshots and run closure BFS walks.
+		`optimatch_sparql_path_total{kind="csr_build"}`,
+		`optimatch_sparql_path_total{kind="memo_miss"}`,
+		`optimatch_sparql_path_bfs_steps_total`,
+		`optimatch_sparql_path_bitset_bytes_total`,
 		`optimatch_core_prefilter_pairs_total{outcome="passed"}`,
 		`optimatch_store_wal_fsync_seconds_count`,
 		`optimatch_store_appended_records_total`,
@@ -328,5 +334,10 @@ func TestStatsGainsObservabilityCounters(t *testing.T) {
 	}
 	if stats.Eval.Specialized == 0 {
 		t.Errorf("eval.specialized = 0 after kb/run: %+v", stats.Eval)
+	}
+	// The canonical KB descendant patterns run closures: the first kb/run
+	// builds CSR snapshots, the second is served from the per-graph cache.
+	if p := stats.Eval.Path; p.CSRBuilds == 0 || p.CSRHits == 0 || p.MemoMisses == 0 || p.BFSSteps == 0 {
+		t.Errorf("eval.path counters did not move: %+v", stats.Eval.Path)
 	}
 }

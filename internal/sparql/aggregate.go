@@ -328,8 +328,10 @@ func (ctx *evalCtx) evalGrouped(q *Query, sols []solution) (*Results, error) {
 		res.Vars = append(res.Vars, item.Alias)
 	}
 	var seen map[string]bool
+	var keyer distinctKeyer
 	if q.Distinct {
 		seen = make(map[string]bool)
+		keyer.dict = ctx.g.Dict()
 	}
 	for _, row := range rows {
 		out := make([]rdf.Term, len(q.Select))
@@ -340,7 +342,7 @@ func (ctx *evalCtx) evalGrouped(q *Query, sols []solution) (*Results, error) {
 			}
 		}
 		if q.Distinct {
-			key := rowKey(out)
+			key := keyer.key(out)
 			if seen[key] {
 				continue
 			}

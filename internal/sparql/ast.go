@@ -169,6 +169,13 @@ func PathString(p Path) string {
 	case PredPath:
 		return "<" + p.IRI + ">"
 	case InvPath:
+		switch p.Inner.(type) {
+		case InvPath, ModPath:
+			// `^^p` would lex as the literal datatype marker and `^p*`
+			// binds the modifier inside the inverse; group to keep the
+			// rendered text faithful to the AST.
+			return "^(" + PathString(p.Inner) + ")"
+		}
 		return "^" + PathString(p.Inner)
 	case SeqPath:
 		parts := make([]string, len(p.Parts))
@@ -183,7 +190,15 @@ func PathString(p Path) string {
 		}
 		return "(" + strings.Join(parts, "|") + ")"
 	case ModPath:
-		return PathString(p.Inner) + string(p.Mod)
+		inner := PathString(p.Inner)
+		switch p.Inner.(type) {
+		case ModPath, InvPath:
+			// `<p>**` does not parse and `^<p>*` would re-associate the
+			// modifier under the inverse; a nested prefix/suffix operator
+			// needs grouping.
+			inner = "(" + inner + ")"
+		}
+		return inner + string(p.Mod)
 	default:
 		return "<?>"
 	}

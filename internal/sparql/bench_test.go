@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"fmt"
 	"testing"
 
 	"optimatch/internal/rdf"
@@ -70,5 +71,113 @@ func BenchmarkPathClosure(b *testing.B) {
 }
 
 func node(i int) string {
-	return "urn:n" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i/260))
+	return fmt.Sprintf("urn:n%d", i)
+}
+
+// runPathClosureBench measures `child+` from a bound start at the evalPath
+// layer — the component the CSR/bitset acceleration replaces — under the
+// indexed engine and the path-index ablation. A fresh pathEnv per iteration
+// reproduces real per-query state (the per-graph CSR cache persists, the
+// per-evaluation memo does not).
+func runPathClosureBench(b *testing.B, g *rdf.Graph, want int) {
+	path := ModPath{Inner: PredPath{IRI: "urn:child"}, Mod: ModOneOrMore}
+	start := g.Dict().Lookup(rdf.IRI(node(0)))
+	for _, cfg := range []struct {
+		name    string
+		noIndex bool
+	}{{"indexed", false}, {"ablated", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				count := 0
+				evalPath(&pathEnv{g: g, noIndex: cfg.noIndex}, path, start, rdf.NoID,
+					func(_, _ rdf.ID) bool { count++; return true })
+				if count != want {
+					b.Fatalf("count = %d, want %d", count, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathClosureDeepChain walks `child+` from the head of an n-edge
+// chain: the worst case for per-step overhead (one node per BFS level).
+func BenchmarkPathClosureDeepChain(b *testing.B) {
+	for _, n := range []int{100, 550, 5000} {
+		g := rdf.NewGraph()
+		pred := rdf.IRI("urn:child")
+		for i := 0; i < n; i++ {
+			g.Add(rdf.IRI(node(i)), pred, rdf.IRI(node(i+1)))
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runPathClosureBench(b, g, n)
+		})
+	}
+}
+
+// BenchmarkPathClosureDiamond chains diamond gadgets a->{b,c}->a': every
+// interior node is reached twice, exercising the visited-set dedup.
+func BenchmarkPathClosureDiamond(b *testing.B) {
+	for _, k := range []int{33, 183, 1666} { // 3k+1 nodes: ~100/550/5000
+		g := rdf.NewGraph()
+		pred := rdf.IRI("urn:child")
+		for i := 0; i < k; i++ {
+			a, l, r, next := node(3*i), node(3*i+1), node(3*i+2), node(3*i+3)
+			g.Add(rdf.IRI(a), pred, rdf.IRI(l))
+			g.Add(rdf.IRI(a), pred, rdf.IRI(r))
+			g.Add(rdf.IRI(l), pred, rdf.IRI(next))
+			g.Add(rdf.IRI(r), pred, rdf.IRI(next))
+		}
+		b.Run(fmt.Sprintf("nodes=%d", 3*k+1), func(b *testing.B) {
+			runPathClosureBench(b, g, 3*k)
+		})
+	}
+}
+
+// BenchmarkPathClosureFanOut walks `child+` from the root of a complete
+// 5-ary tree: wide frontiers, shallow depth.
+func BenchmarkPathClosureFanOut(b *testing.B) {
+	for _, n := range []int{100, 550, 5000} {
+		g := rdf.NewGraph()
+		pred := rdf.IRI("urn:child")
+		for i := 1; i <= n; i++ {
+			g.Add(rdf.IRI(node((i-1)/5)), pred, rdf.IRI(node(i)))
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runPathClosureBench(b, g, n)
+		})
+	}
+}
+
+// BenchmarkPathClosureQuery runs a full `?a child+ ?b` query (closure from
+// every node, row materialization included) over a chain — the end-to-end
+// number, where projection overhead is shared by both configurations.
+func BenchmarkPathClosureQuery(b *testing.B) {
+	const n = 550
+	g := rdf.NewGraph()
+	pred := rdf.IRI("urn:child")
+	for i := 0; i < n; i++ {
+		g.Add(rdf.IRI(node(i)), pred, rdf.IRI(node(i+1)))
+	}
+	q, err := Parse("SELECT ?a ?b WHERE { ?a <urn:child>+ ?b }")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opts ExecOptions
+	}{{"indexed", ExecOptions{}}, {"ablated", ExecOptions{DisablePathIndex: true}}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := q.ExecOpts(g, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() != n*(n+1)/2 {
+					b.Fatalf("rows = %d", res.Len())
+				}
+			}
+		})
+	}
 }

@@ -25,6 +25,13 @@ type ExecOptions struct {
 	// ablation benchmarks; results are identical either way.
 	DisableSpecialization bool
 
+	// DisablePathIndex turns off the path-closure acceleration layer: CSR
+	// adjacency snapshots, bitset BFS with pooled buffers, cardinality-based
+	// walk direction and the per-evaluation closure memo. Closures fall back
+	// to the seed-era per-start map BFS over Match callbacks. Used by the
+	// ablation benchmarks; results are identical either way.
+	DisablePathIndex bool
+
 	// Stats, when non-nil, tallies which evaluator ran for each execution.
 	// The same EvalStats may be shared by concurrent evaluations (the
 	// counters are atomic); nil costs nothing on the hot path.
@@ -38,6 +45,13 @@ type EvalStats struct {
 	specialized     atomic.Int64
 	fallback        atomic.Int64
 	constantBailout atomic.Int64
+
+	pathCSRBuilds   atomic.Int64
+	pathCSRHits     atomic.Int64
+	pathMemoHits    atomic.Int64
+	pathMemoMisses  atomic.Int64
+	pathBFSSteps    atomic.Int64
+	pathBitsetBytes atomic.Int64
 }
 
 // EvalSnapshot is a point-in-time copy of EvalStats, in wire form.
@@ -50,6 +64,25 @@ type EvalSnapshot struct {
 	// evaluation entirely because a required constant was missing from the
 	// graph's vocabulary (a subset of Specialized).
 	ConstantBailouts int64 `json:"constantBailouts"`
+	// Path aggregates the path-closure acceleration counters.
+	Path PathSnapshot `json:"path"`
+}
+
+// PathSnapshot is the wire form of the path-acceleration counters.
+type PathSnapshot struct {
+	// CSRBuilds counts CSR adjacency snapshots built (once per
+	// (graph, predicate) until the graph mutates).
+	CSRBuilds int64 `json:"csrBuilds"`
+	// CSRHits counts closure walks served by an already-built snapshot.
+	CSRHits int64 `json:"csrHits"`
+	// MemoHits counts closures replayed from a per-evaluation memo.
+	MemoHits int64 `json:"memoHits"`
+	// MemoMisses counts closures that ran a fresh BFS.
+	MemoMisses int64 `json:"memoMisses"`
+	// BFSSteps counts edges traversed by closure BFS walks.
+	BFSSteps int64 `json:"bfsSteps"`
+	// BitsetBytes counts bytes allocated for visited bitsets (pool misses).
+	BitsetBytes int64 `json:"bitsetBytes"`
 }
 
 // Snapshot returns the current counter values.
@@ -58,7 +91,28 @@ func (s *EvalStats) Snapshot() EvalSnapshot {
 		Specialized:      s.specialized.Load(),
 		Fallback:         s.fallback.Load(),
 		ConstantBailouts: s.constantBailout.Load(),
+		Path: PathSnapshot{
+			CSRBuilds:   s.pathCSRBuilds.Load(),
+			CSRHits:     s.pathCSRHits.Load(),
+			MemoHits:    s.pathMemoHits.Load(),
+			MemoMisses:  s.pathMemoMisses.Load(),
+			BFSSteps:    s.pathBFSSteps.Load(),
+			BitsetBytes: s.pathBitsetBytes.Load(),
+		},
 	}
+}
+
+// addPath folds one evaluation's path counters into the shared stats.
+func (s *EvalStats) addPath(p PathStats) {
+	if p == (PathStats{}) {
+		return
+	}
+	s.pathCSRBuilds.Add(p.CSRBuilds)
+	s.pathCSRHits.Add(p.CSRHits)
+	s.pathMemoHits.Add(p.MemoHits)
+	s.pathMemoMisses.Add(p.MemoMisses)
+	s.pathBFSSteps.Add(p.BFSSteps)
+	s.pathBitsetBytes.Add(p.BitsetBytes)
 }
 
 // Results is a solution table: one row per solution, one column per
@@ -116,6 +170,9 @@ func (q *Query) ExecOpts(g *rdf.Graph, opts ExecOptions) (*Results, error) {
 		opts.Stats.fallback.Add(1)
 	}
 	ctx := newEvalCtx(g, q, opts)
+	if opts.Stats != nil {
+		defer func() { opts.Stats.addPath(ctx.env.stats) }()
+	}
 	seed := []solution{ctx.emptySolution()}
 	sols, err := ctx.evalGroup(q.Where, seed)
 	if err != nil {
@@ -139,10 +196,16 @@ type evalCtx struct {
 	opts     ExecOptions
 	varIndex map[string]int
 	varNames []string
+
+	// env is the property-path environment shared by every path evaluation
+	// of this execution: it owns the closure memo and the pooled BFS
+	// buffers. The specialized context re-points its own env instead.
+	env pathEnv
 }
 
 func newEvalCtx(g *rdf.Graph, q *Query, opts ExecOptions) *evalCtx {
 	ctx := &evalCtx{g: g, opts: opts, varIndex: make(map[string]int)}
+	ctx.env = pathEnv{g: g, noIndex: opts.DisablePathIndex}
 	for _, v := range q.Where.Vars() {
 		ctx.slot(v)
 	}
@@ -705,7 +768,7 @@ func (ctx *evalCtx) extendTriple(tp TriplePattern, sols []solution) ([]solution,
 				})
 			} else {
 				seen := make(map[[2]rdf.ID]bool)
-				evalPath(&pathEnv{g: g}, predPath, sid, oid, func(ms, mo rdf.ID) bool {
+				evalPath(&ctx.env, predPath, sid, oid, func(ms, mo rdf.ID) bool {
 					key := [2]rdf.ID{ms, mo}
 					if seen[key] {
 						return true
@@ -773,8 +836,10 @@ func (ctx *evalCtx) project(q *Query, sols []solution) (*Results, error) {
 
 	res := &Results{Vars: vars}
 	var seen map[string]bool
+	var keyer distinctKeyer
 	if q.Distinct {
 		seen = make(map[string]bool)
+		keyer.dict = ctx.g.Dict()
 	}
 	for _, s := range sols {
 		row := make([]rdf.Term, len(exprs))
@@ -784,7 +849,7 @@ func (ctx *evalCtx) project(q *Query, sols []solution) (*Results, error) {
 			}
 		}
 		if q.Distinct {
-			key := rowKey(row)
+			key := keyer.key(row)
 			if seen[key] {
 				continue
 			}
@@ -807,11 +872,39 @@ func (ctx *evalCtx) project(q *Query, sols []solution) (*Results, error) {
 	return res, nil
 }
 
-func rowKey(row []rdf.Term) string {
-	var b strings.Builder
+// distinctKeyer builds DISTINCT dedup keys from dense term IDs instead of
+// rendering every cell to N-Triples text: 4 bytes per column and no string
+// building per cell. Terms the graph's dictionary does not know (BIND
+// results) are interned into a local side table whose IDs carry the top bit,
+// so they never collide with graph IDs — byte-equal keys are exactly
+// term-equal rows.
+type distinctKeyer struct {
+	dict  *rdf.Dict
+	extra map[rdf.Term]rdf.ID
+	buf   []byte
+}
+
+// key encodes the row as a little-endian ID tuple. The returned string is
+// only valid as a map key (it is re-materialized by the string conversion).
+func (k *distinctKeyer) key(row []rdf.Term) string {
+	k.buf = k.buf[:0]
 	for _, t := range row {
-		b.WriteString(t.String())
-		b.WriteByte('\x00')
+		var id rdf.ID
+		if !t.Zero() {
+			id = k.dict.Lookup(t)
+			if id == rdf.NoID {
+				var ok bool
+				id, ok = k.extra[t]
+				if !ok {
+					if k.extra == nil {
+						k.extra = make(map[rdf.Term]rdf.ID)
+					}
+					id = extraIDBit | rdf.ID(len(k.extra)+1)
+					k.extra[t] = id
+				}
+			}
+		}
+		k.buf = append(k.buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	}
-	return b.String()
+	return string(k.buf)
 }

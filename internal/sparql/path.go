@@ -2,15 +2,79 @@ package sparql
 
 import "optimatch/internal/rdf"
 
-// pathEnv carries the graph a property path evaluates against plus an
-// optional predicate-IRI resolver. The specialized evaluator installs a
-// memoized resolver so closure walks (which re-resolve the inner predicate
-// on every BFS step) hit a per-evaluation cache instead of hashing the IRI
-// against the dictionary each time; with a nil resolver the dictionary is
-// consulted directly.
+// Property-path evaluation. Arbitrary-length paths (`+`, `*`) are the hot
+// spot: OptImatch's expert patterns use them to find problem shapes anywhere
+// in a QEP tree, so a 1000-plan knowledge-base scan runs thousands of
+// closure walks. Two evaluation strategies coexist:
+//
+//   - The indexed path (default): BFS over per-predicate CSR adjacency
+//     snapshots cached on the graph (rdf.Graph.PredCSR), with bitset visited
+//     sets and pooled frontier buffers, full closure results memoized per
+//     (path, direction, start) for the lifetime of one query evaluation, and
+//     walk direction for doubly-bound closures chosen from index
+//     cardinalities.
+//   - The legacy path (ExecOptions.DisablePathIndex): the seed-era
+//     per-start-node BFS over map visited sets, stepping through generic
+//     Graph.Match callbacks. Kept verbatim as the ablation baseline.
+//
+// Both strategies emit identical pair sequences: CSR neighbor lists preserve
+// Match's iteration order, the BFS discovers nodes in the same order, and
+// the memo replays discovery order — so reports stay byte-identical with
+// the index on or off.
+
+// pathEnv carries the graph a property path evaluates against plus the
+// per-evaluation acceleration state: an optional memoized predicate-IRI
+// resolver, the closure memo, and reusable bitset/frontier buffers. One
+// pathEnv lives per query evaluation and is not safe for concurrent use.
 type pathEnv struct {
 	g    *rdf.Graph
 	pred func(iri string) rdf.ID
+
+	// noIndex pins evaluation to the legacy closure path (ablation).
+	noIndex bool
+
+	// stats accumulates path-acceleration counters for this evaluation;
+	// flushed into ExecOptions.Stats when the evaluation finishes.
+	stats PathStats
+
+	// memo caches full closure results per (inner path, direction, start)
+	// so a pattern that probes the same closure from many bindings pays for
+	// the BFS once.
+	memo map[closureKey]*closureSet
+
+	// visitedPool and idPool recycle bitset and frontier buffers across the
+	// closures of one evaluation (nested closures pop their own buffers).
+	visitedPool [][]uint64
+	idPool      [][]rdf.ID
+}
+
+// PathStats counts path-acceleration events during one evaluation. Plain
+// ints: a pathEnv is single-goroutine; the totals are flushed into the
+// atomic EvalStats once per execution.
+type PathStats struct {
+	CSRBuilds   int64 // CSR adjacency snapshots built on the graph
+	CSRHits     int64 // closures served by an already-built snapshot
+	MemoHits    int64 // closures replayed from the per-evaluation memo
+	MemoMisses  int64 // closures that ran a BFS
+	BFSSteps    int64 // edges traversed by closure BFS walks
+	BitsetBytes int64 // bytes allocated for visited bitsets (pool misses)
+}
+
+// closureKey identifies one memoized closure: the inner path (rendered to
+// its canonical SPARQL syntax), the walk direction, and the start node.
+type closureKey struct {
+	path     string
+	backward bool
+	start    rdf.ID
+}
+
+// closureSet is a memoized closure result: every node reachable from start
+// in >= 1 applications of the inner path, in BFS discovery order. The start
+// node itself appears in the list iff it is reachable in >= 1 steps (a
+// cycle), at the position the cycle was discovered — replaying the list
+// therefore reproduces the exact emission sequence of a live BFS.
+type closureSet struct {
+	reached []rdf.ID
 }
 
 func (e *pathEnv) predID(iri string) rdf.ID {
@@ -70,7 +134,25 @@ func evalSeq(env *pathEnv, parts []Path, s, o rdf.ID, emit func(s, o rdf.ID) boo
 	}
 	if s != rdf.NoID || o == rdf.NoID {
 		// Evaluate left to right; dedupe (start, mid) pairs so diamond
-		// shapes do not explode.
+		// shapes do not explode. With a bound start every pair shares it, so
+		// the indexed path dedupes mids on a pooled bitset instead of a map.
+		if s != rdf.NoID && !env.noIndex {
+			seen := env.getVisited()
+			marked := env.getIDs()
+			cont := evalPath(env, parts[0], s, rdf.NoID, func(start, mid rdf.ID) bool {
+				if bitGet(seen, mid) {
+					return true
+				}
+				bitSet(seen, mid)
+				marked = append(marked, mid)
+				return evalSeq(env, parts[1:], mid, o, func(_, end rdf.ID) bool {
+					return emit(start, end)
+				})
+			})
+			env.putVisited(seen, marked)
+			env.putIDs(marked)
+			return cont
+		}
 		seen := make(map[[2]rdf.ID]bool)
 		return evalPath(env, parts[0], s, rdf.NoID, func(start, mid rdf.ID) bool {
 			key := [2]rdf.ID{start, mid}
@@ -83,8 +165,26 @@ func evalSeq(env *pathEnv, parts []Path, s, o rdf.ID, emit func(s, o rdf.ID) boo
 			})
 		})
 	}
-	// Only the object side is bound: evaluate right to left.
+	// Only the object side is bound: evaluate right to left. Every pair
+	// shares the bound end, so dedupe mids the same way.
 	last := parts[len(parts)-1]
+	if !env.noIndex {
+		seen := env.getVisited()
+		marked := env.getIDs()
+		cont := evalPath(env, last, rdf.NoID, o, func(mid, end rdf.ID) bool {
+			if bitGet(seen, mid) {
+				return true
+			}
+			bitSet(seen, mid)
+			marked = append(marked, mid)
+			return evalSeq(env, parts[:len(parts)-1], rdf.NoID, mid, func(start, _ rdf.ID) bool {
+				return emit(start, end)
+			})
+		})
+		env.putVisited(seen, marked)
+		env.putIDs(marked)
+		return cont
+	}
 	seen := make(map[[2]rdf.ID]bool)
 	return evalPath(env, last, rdf.NoID, o, func(mid, end rdf.ID) bool {
 		key := [2]rdf.ID{mid, end}
@@ -102,7 +202,7 @@ func evalMod(env *pathEnv, p ModPath, s, o rdf.ID, emit func(s, o rdf.ID) bool) 
 	switch p.Mod {
 	case ModZeroOrOne:
 		// Zero-length component.
-		if !emitZeroLength(env.g, s, o, emit) {
+		if !emitZeroLength(env, s, o, emit) {
 			return false
 		}
 		// One-step component, skipping pairs the zero-length part already
@@ -116,6 +216,17 @@ func evalMod(env *pathEnv, p ModPath, s, o rdf.ID, emit func(s, o rdf.ID) bool) 
 	case ModOneOrMore, ModZeroOrMore:
 		includeZero := p.Mod == ModZeroOrMore
 		switch {
+		case s != rdf.NoID && o != rdf.NoID:
+			// Both ends bound: at most one pair can come out, so either walk
+			// direction is equivalent — pick the one whose first frontier is
+			// smaller (index cardinalities). The legacy path keeps the fixed
+			// forward rule.
+			if closureBackwardCheaper(env, p.Inner, s, o) {
+				return closure(env, p.Inner, o, s, includeZero, true, func(a, b rdf.ID) bool {
+					return emit(b, a)
+				})
+			}
+			return closure(env, p.Inner, s, o, includeZero, false, emit)
 		case s != rdf.NoID:
 			return closure(env, p.Inner, s, o, includeZero, false, emit)
 		case o != rdf.NoID:
@@ -125,7 +236,7 @@ func evalMod(env *pathEnv, p ModPath, s, o rdf.ID, emit func(s, o rdf.ID) bool) 
 			})
 		default:
 			// Both ends unbound: run a closure from every node.
-			for _, start := range allNodes(env.g) {
+			for _, start := range env.g.NodeIDs() {
 				if !closure(env, p.Inner, start, rdf.NoID, includeZero, false, emit) {
 					return false
 				}
@@ -139,7 +250,7 @@ func evalMod(env *pathEnv, p ModPath, s, o rdf.ID, emit func(s, o rdf.ID) bool) 
 
 // emitZeroLength emits the zero-length pairs for a `?` or `*` path given the
 // endpoint bindings.
-func emitZeroLength(g *rdf.Graph, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
+func emitZeroLength(env *pathEnv, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool {
 	switch {
 	case s != rdf.NoID && o != rdf.NoID:
 		if s == o {
@@ -151,7 +262,7 @@ func emitZeroLength(g *rdf.Graph, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool
 	case o != rdf.NoID:
 		return emit(o, o)
 	default:
-		for _, n := range allNodes(g) {
+		for _, n := range env.g.NodeIDs() {
 			if !emit(n, n) {
 				return false
 			}
@@ -160,11 +271,184 @@ func emitZeroLength(g *rdf.Graph, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool
 	}
 }
 
-// closure runs a BFS over the inner path from start. When backward is true
-// the inner path edges are followed in reverse. Pairs (start, reached) are
-// emitted once each; when other is non-NoID only the matching pair is
-// emitted (but the whole reachable set is still explored until found).
+// basePred unwraps chains of InvPath around a PredPath. ok is false for any
+// other path shape; inverted reports whether the net orientation is
+// reversed.
+func basePred(p Path) (iri string, inverted bool, ok bool) {
+	switch p := p.(type) {
+	case PredPath:
+		return p.IRI, false, true
+	case InvPath:
+		iri, inv, ok := basePred(p.Inner)
+		return iri, !inv, ok
+	}
+	return "", false, false
+}
+
+// closureBackwardCheaper decides the walk direction for a doubly-bound
+// closure: walk backward from o when o's first frontier is smaller than s's.
+// Only simple (possibly inverted) predicate paths have usable cardinalities;
+// anything else keeps the forward default, as does the ablated configuration.
+func closureBackwardCheaper(env *pathEnv, inner Path, s, o rdf.ID) bool {
+	if env.noIndex {
+		return false
+	}
+	iri, inverted, ok := basePred(inner)
+	if !ok {
+		return false
+	}
+	pid := env.predID(iri)
+	if pid == rdf.NoID {
+		return false
+	}
+	fromS, fromO := env.g.Count(s, pid, rdf.NoID), env.g.Count(rdf.NoID, pid, o)
+	if inverted {
+		fromS, fromO = env.g.Count(rdf.NoID, pid, s), env.g.Count(o, pid, rdf.NoID)
+	}
+	return fromO < fromS
+}
+
+// closure emits the transitive closure of the inner path from start. When
+// backward is true the inner path edges are followed in reverse. Pairs
+// (start, reached) are emitted once each; when other is non-NoID only the
+// matching pair is emitted. includeZero adds the zero-length (start, start)
+// pair up front (`*` semantics).
 func closure(env *pathEnv, inner Path, start, other rdf.ID, includeZero, backward bool, emit func(s, o rdf.ID) bool) bool {
+	if env.noIndex {
+		return closureLegacy(env, inner, start, other, includeZero, backward, emit)
+	}
+	set := env.closureSet(inner, start, backward)
+	emittedStart := false
+	if includeZero && (other == rdf.NoID || other == start) {
+		emittedStart = true
+		if !emit(start, start) {
+			return false
+		}
+	}
+	for _, to := range set.reached {
+		if to == start {
+			// The cycle back to the start, at its discovery position.
+			if !emittedStart && (other == rdf.NoID || other == start) {
+				emittedStart = true
+				if !emit(start, start) {
+					return false
+				}
+			}
+			continue
+		}
+		if other == rdf.NoID || other == to {
+			if !emit(start, to) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// closureSet returns the memoized closure of inner from start, running the
+// BFS on a miss.
+func (env *pathEnv) closureSet(inner Path, start rdf.ID, backward bool) *closureSet {
+	key := closureKey{path: PathString(inner), backward: backward, start: start}
+	if set, ok := env.memo[key]; ok {
+		env.stats.MemoHits++
+		return set
+	}
+	env.stats.MemoMisses++
+	set := env.runBFS(inner, start, backward)
+	if env.memo == nil {
+		env.memo = make(map[closureKey]*closureSet)
+	}
+	env.memo[key] = set
+	return set
+}
+
+// runBFS computes the full reachable set of inner from start in the given
+// direction: over CSR adjacency slices when the inner path is a (possibly
+// inverted) plain predicate, through the generic path evaluator otherwise —
+// either way with a pooled bitset visited set and reusable frontiers.
+func (env *pathEnv) runBFS(inner Path, start rdf.ID, backward bool) *closureSet {
+	var csr *rdf.CSR
+	useIn := backward
+	if iri, inverted, ok := basePred(inner); ok {
+		pid := env.predID(iri)
+		if pid == rdf.NoID {
+			return &closureSet{}
+		}
+		c, built := env.g.PredCSR(pid)
+		if built {
+			env.stats.CSRBuilds++
+		} else {
+			env.stats.CSRHits++
+		}
+		csr = c
+		if inverted {
+			useIn = !useIn
+		}
+	}
+
+	visited := env.getVisited()
+	frontier := append(env.getIDs(), start)
+	next := env.getIDs()
+	bitSet(visited, start)
+
+	set := &closureSet{}
+	cycled := false
+	steps := int64(0)
+	visit := func(to rdf.ID) {
+		steps++
+		if to == start {
+			if !cycled {
+				cycled = true
+				set.reached = append(set.reached, start)
+			}
+			return
+		}
+		if bitGet(visited, to) {
+			return
+		}
+		bitSet(visited, to)
+		set.reached = append(set.reached, to)
+		next = append(next, to)
+	}
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, from := range frontier {
+			switch {
+			case csr != nil && useIn:
+				for _, to := range csr.In(from) {
+					visit(to)
+				}
+			case csr != nil:
+				for _, to := range csr.Out(from) {
+					visit(to)
+				}
+			case backward:
+				evalPath(env, inner, rdf.NoID, from, func(to, _ rdf.ID) bool {
+					visit(to)
+					return true
+				})
+			default:
+				evalPath(env, inner, from, rdf.NoID, func(_, to rdf.ID) bool {
+					visit(to)
+					return true
+				})
+			}
+		}
+		frontier, next = next, frontier
+	}
+	env.stats.BFSSteps += steps
+
+	bitClear(visited, start)
+	env.putVisited(visited, set.reached)
+	env.putIDs(frontier)
+	env.putIDs(next)
+	return set
+}
+
+// closureLegacy is the seed-era closure: per-start map visited set, stepping
+// through the generic path evaluator. Kept verbatim as the ablation
+// baseline (ExecOptions.DisablePathIndex).
+func closureLegacy(env *pathEnv, inner Path, start, other rdf.ID, includeZero, backward bool, emit func(s, o rdf.ID) bool) bool {
 	// emittedStart tracks whether the (start, start) pair has been produced:
 	// by the zero-length component for `*`, or — for `+` — by a cycle back
 	// to the start node found during the walk.
@@ -222,20 +506,48 @@ func closure(env *pathEnv, inner Path, start, other rdf.ID, includeZero, backwar
 	return true
 }
 
-// allNodes returns every distinct term ID used as a subject or object.
-func allNodes(g *rdf.Graph) []rdf.ID {
-	seen := make(map[rdf.ID]bool)
-	var out []rdf.ID
-	g.Match(rdf.NoID, rdf.NoID, rdf.NoID, func(s, _, o rdf.ID) bool {
-		if !seen[s] {
-			seen[s] = true
-			out = append(out, s)
+// Bitset helpers. Bit i represents dense term ID i; word 0 bit 0 (NoID) is
+// never set.
+
+func bitSet(b []uint64, id rdf.ID)      { b[id>>6] |= 1 << (id & 63) }
+func bitClear(b []uint64, id rdf.ID)    { b[id>>6] &^= 1 << (id & 63) }
+func bitGet(b []uint64, id rdf.ID) bool { return b[id>>6]&(1<<(id&63)) != 0 }
+
+// getVisited pops (or allocates) a zeroed bitset sized for the graph's ID
+// space. Buffers pop from a stack so nested closures never share one.
+func (env *pathEnv) getVisited() []uint64 {
+	words := int(env.g.MaxID())>>6 + 1
+	if k := len(env.visitedPool); k > 0 {
+		v := env.visitedPool[k-1]
+		env.visitedPool = env.visitedPool[:k-1]
+		if len(v) >= words {
+			return v
 		}
-		if !seen[o] {
-			seen[o] = true
-			out = append(out, o)
-		}
-		return true
-	})
-	return out
+	}
+	env.stats.BitsetBytes += int64(words * 8)
+	return make([]uint64, words)
+}
+
+// putVisited clears the bits recorded in marked and returns the bitset to
+// the pool. Clearing by marked list is O(visited nodes), not O(ID space).
+func (env *pathEnv) putVisited(v []uint64, marked []rdf.ID) {
+	for _, id := range marked {
+		bitClear(v, id)
+	}
+	env.visitedPool = append(env.visitedPool, v)
+}
+
+// getIDs pops (or allocates) an empty ID buffer for frontiers and mark
+// lists.
+func (env *pathEnv) getIDs() []rdf.ID {
+	if k := len(env.idPool); k > 0 {
+		v := env.idPool[k-1]
+		env.idPool = env.idPool[:k-1]
+		return v[:0]
+	}
+	return make([]rdf.ID, 0, 64)
+}
+
+func (env *pathEnv) putIDs(v []rdf.ID) {
+	env.idPool = append(env.idPool, v)
 }

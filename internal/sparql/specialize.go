@@ -92,7 +92,7 @@ func newSpecCtx(g *rdf.Graph, q *Query, opts ExecOptions) *specCtx {
 	for _, t := range an.Consts {
 		sc.constIDs[t] = dict.Lookup(t)
 	}
-	sc.env = pathEnv{g: g, pred: func(iri string) rdf.ID {
+	sc.env = pathEnv{g: g, noIndex: opts.DisablePathIndex, pred: func(iri string) rdf.ID {
 		return sc.constID(rdf.IRI(iri))
 	}}
 	return sc
@@ -166,6 +166,9 @@ func (v specView) lookupVar(name string) (rdf.Term, bool) {
 // and aggregation tail.
 func (q *Query) execSpecialized(g *rdf.Graph, opts ExecOptions) (*Results, error) {
 	sc := newSpecCtx(g, q, opts)
+	if opts.Stats != nil {
+		defer func() { opts.Stats.addPath(sc.env.stats) }()
+	}
 	var sols []solution
 	// Required-constant bail-out: when the graph's vocabulary misses a term
 	// every match must contain, the WHERE clause is known to produce zero
