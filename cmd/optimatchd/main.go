@@ -22,8 +22,14 @@
 // latency histograms across every layer in the Prometheus text format, and
 // -debug-addr serves net/http/pprof on a separate, private listener.
 //
-// On SIGINT/SIGTERM the daemon drains in-flight requests and flushes the
-// store before exiting.
+// Execution is deadline-aware: -query-timeout bounds every engine scan
+// (clients may shorten it per request with an X-Timeout-Ms header; 504 on
+// expiry), and -max-inflight/-queue-wait add an admission gate that sheds
+// excess load with 503 + Retry-After instead of queueing without bound.
+//
+// On SIGINT/SIGTERM the daemon drains in-flight requests — cancelling
+// still-running engine scans halfway through the drain window — and
+// flushes the store before exiting.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -67,6 +74,9 @@ func run() error {
 		prefilter    = flag.Bool("prefilter", true, "vocabulary prefilter + per-graph query specialization")
 		data         = flag.String("data", "", "durable store directory (empty: in-memory only, state lost on exit)")
 		compactEvery = flag.Int64("compact-every", 1024, "auto-compact the store once its WAL holds this many records (0: manual only)")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "deadline for one engine execution (search/sparql/kb-run); clients may shorten it per request with X-Timeout-Ms (0: no deadline)")
+		maxInflight  = flag.Int("max-inflight", 0, "cap on concurrently admitted scan work, in weighted units (kb/run counts 2, search/sparql 1; 0: unlimited)")
+		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "how long a request may queue for an admission slot before being shed with 503")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat    = flag.String("log-format", "text", "log format: text or json")
 		slowMS       = flag.Int64("slow-ms", 500, "WARN-log requests slower than this many milliseconds (0: disabled)")
@@ -96,10 +106,20 @@ func run() error {
 		return err
 	}
 
+	// execCtx is the base context of every request: cancelling it stops all
+	// in-flight engine work cooperatively. It fires halfway through the
+	// shutdown drain, so well-behaved requests finish naturally and
+	// long-running scans are cut short instead of holding the drain hostage.
+	execCtx, cancelExec := context.WithCancel(context.Background())
+	defer cancelExec()
+
 	serverOpts := []server.Option{
 		server.WithLogger(log),
 		server.WithMetrics(reg),
 		server.WithSlowThreshold(time.Duration(*slowMS) * time.Millisecond),
+		server.WithQueryTimeout(*queryTimeout),
+		server.WithAdmission(*maxInflight, *queueWait),
+		server.WithBaseContext(execCtx),
 	}
 	var (
 		eng *core.Engine
@@ -145,6 +165,7 @@ func run() error {
 		Addr:              *addr,
 		Handler:           server.New(eng, base, serverOpts...).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return execCtx },
 	}
 
 	var debugSrv *http.Server
@@ -182,6 +203,12 @@ func run() error {
 	log.Info("shutting down", "drainTimeout", shutdownTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
+	// Give in-flight requests half the drain window to finish on their own,
+	// then cancel the base context: engine scans observe it and return (the
+	// server answers those with 503 + Retry-After), so a runaway query can
+	// delay shutdown by at most half the timeout instead of all of it.
+	cutShort := time.AfterFunc(shutdownTimeout/2, cancelExec)
+	defer cutShort.Stop()
 	if debugSrv != nil {
 		_ = debugSrv.Shutdown(shutdownCtx)
 	}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -109,13 +110,15 @@ func New(opts ...Option) *Engine {
 	return e
 }
 
-// evalOpts returns the SPARQL evaluation options in effect: disabling the
-// prefilter also pins evaluation to the unspecialized baseline so
-// WithPrefilter(false) ablates the whole acceleration path at once. The
+// evalOpts returns the SPARQL evaluation options in effect for one scan:
+// disabling the prefilter also pins evaluation to the unspecialized baseline
+// so WithPrefilter(false) ablates the whole acceleration path at once. The
 // engine's own evaluator-dispatch counters are attached unless the caller
-// supplied their own through WithExecOptions.
-func (e *Engine) evalOpts() sparql.ExecOptions {
+// supplied their own through WithExecOptions, and the scan's context is
+// threaded through so every evaluation observes cancellation cooperatively.
+func (e *Engine) evalOpts(ctx context.Context) sparql.ExecOptions {
 	opts := e.execOpts
+	opts.Ctx = ctx
 	if !e.prefilter {
 		opts.DisableSpecialization = true
 	}
@@ -312,21 +315,42 @@ func (m *Match) String() string {
 // FindPattern compiles the problem pattern and matches it against every
 // loaded plan (Algorithm 3). Matches are returned in plan load order.
 func (e *Engine) FindPattern(p *pattern.Pattern) ([]Match, error) {
+	return e.FindPatternContext(context.Background(), p)
+}
+
+// FindPatternContext is FindPattern bounded by ctx: the scan stops
+// enqueueing plans and every in-flight evaluation returns as soon as the
+// context is cancelled or its deadline passes.
+func (e *Engine) FindPatternContext(ctx context.Context, p *pattern.Pattern) ([]Match, error) {
 	c, err := pattern.Compile(p)
 	if err != nil {
 		return nil, err
 	}
-	return e.FindCompiled(c)
+	return e.FindCompiledContext(ctx, c)
 }
 
 // FindCompiled matches an already-compiled pattern.
 func (e *Engine) FindCompiled(c *pattern.Compiled) ([]Match, error) {
-	return e.FindSPARQL(c.Query)
+	return e.FindCompiledContext(context.Background(), c)
+}
+
+// FindCompiledContext is FindCompiled bounded by ctx.
+func (e *Engine) FindCompiledContext(ctx context.Context, c *pattern.Compiled) ([]Match, error) {
+	return e.FindSPARQLContext(ctx, c.Query)
 }
 
 // FindSPARQL matches a raw SPARQL query against every loaded plan. Every
 // projected column becomes a binding; resources are de-transformed.
 func (e *Engine) FindSPARQL(query string) ([]Match, error) {
+	return e.FindSPARQLContext(context.Background(), query)
+}
+
+// FindSPARQLContext is FindSPARQL bounded by ctx. Cancellation is
+// cooperative at every layer: the worker-pool fan-out stops dispatching
+// plans, each running SPARQL evaluation returns from its binding loops and
+// closure walks within a bounded number of iterations, and the pool drains
+// without leaking goroutines. The returned error then wraps ctx.Err().
+func (e *Engine) FindSPARQLContext(ctx context.Context, query string) ([]Match, error) {
 	q, err := e.getQuery(query)
 	if err != nil {
 		return nil, err
@@ -344,11 +368,11 @@ func (e *Engine) FindSPARQL(query string) ([]Match, error) {
 		err     error
 	}
 	results := make([]chunk, len(plans))
-	e.forEachPlan(plans, func(i int, r *transform.Result) {
+	ferr := e.forEachPlan(ctx, plans, func(i int, r *transform.Result) {
 		if !e.mayMatch(analysis, r) {
 			return
 		}
-		ms, err := e.matchPlan(q, r)
+		ms, err := e.matchPlan(ctx, q, r)
 		results[i] = chunk{matches: ms, err: err}
 	})
 
@@ -359,11 +383,14 @@ func (e *Engine) FindSPARQL(query string) ([]Match, error) {
 		}
 		out = append(out, c.matches...)
 	}
+	if ferr != nil {
+		return nil, ferr
+	}
 	return out, nil
 }
 
-func (e *Engine) matchPlan(q *sparql.Query, r *transform.Result) ([]Match, error) {
-	res, err := e.execTimed(q, r)
+func (e *Engine) matchPlan(ctx context.Context, q *sparql.Query, r *transform.Result) ([]Match, error) {
+	res, err := e.execTimed(ctx, q, r)
 	if err != nil {
 		return nil, fmt.Errorf("core: plan %s: %w", r.Plan.ID, err)
 	}
@@ -389,12 +416,12 @@ func (e *Engine) matchPlan(q *sparql.Query, r *transform.Result) ([]Match, error
 // execTimed evaluates one (query, plan) pair, reporting the evaluation
 // latency to the PlanMatch hook. With no hook installed the only overhead
 // is one nil check.
-func (e *Engine) execTimed(q *sparql.Query, r *transform.Result) (*sparql.Results, error) {
+func (e *Engine) execTimed(ctx context.Context, q *sparql.Query, r *transform.Result) (*sparql.Results, error) {
 	if e.instr.PlanMatch == nil {
-		return q.ExecOpts(r.Graph, e.evalOpts())
+		return q.ExecOpts(r.Graph, e.evalOpts(ctx))
 	}
 	start := time.Now()
-	res, err := q.ExecOpts(r.Graph, e.evalOpts())
+	res, err := q.ExecOpts(r.Graph, e.evalOpts(ctx))
 	e.instr.PlanMatch(time.Since(start))
 	return res, err
 }
@@ -424,6 +451,14 @@ func (pr *PlanReport) Message() string {
 // context through the handler tags, and the results are ranked by
 // statistical confidence. Reports come back in plan load order.
 func (e *Engine) RunKB(k *kb.KnowledgeBase) ([]PlanReport, error) {
+	return e.RunKBContext(context.Background(), k)
+}
+
+// RunKBContext is RunKB bounded by ctx: cancellation stops the worker-pool
+// fan-out from dispatching further plans, interrupts the SPARQL evaluation
+// of the plan each worker is on, and drains the pool without leaking
+// goroutines before returning an error that wraps ctx.Err().
+func (e *Engine) RunKBContext(ctx context.Context, k *kb.KnowledgeBase) ([]PlanReport, error) {
 	// Parse every entry query once (cached across RunKB calls).
 	entries := make([]compiledEntry, 0, k.Len())
 	for _, entry := range k.Entries() {
@@ -443,13 +478,16 @@ func (e *Engine) RunKB(k *kb.KnowledgeBase) ([]PlanReport, error) {
 
 	reports := make([]PlanReport, len(plans))
 	errs := make([]error, len(plans))
-	e.forEachPlan(plans, func(i int, r *transform.Result) {
-		reports[i], errs[i] = e.planReport(entries, r)
+	ferr := e.forEachPlan(ctx, plans, func(i int, r *transform.Result) {
+		reports[i], errs[i] = e.planReport(ctx, entries, r)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if ferr != nil {
+		return nil, ferr
 	}
 	return reports, nil
 }
@@ -464,13 +502,13 @@ type compiledEntry struct {
 
 // planReport matches every knowledge-base entry against one plan and
 // assembles the ranked recommendation list.
-func (e *Engine) planReport(entries []compiledEntry, r *transform.Result) (PlanReport, error) {
+func (e *Engine) planReport(ctx context.Context, entries []compiledEntry, r *transform.Result) (PlanReport, error) {
 	report := PlanReport{Plan: r.Plan}
 	for _, ce := range entries {
 		if !e.mayMatch(ce.analysis, r) {
 			continue
 		}
-		res, err := e.execTimed(ce.query, r)
+		res, err := e.execTimed(ctx, ce.query, r)
 		if err != nil {
 			return report, fmt.Errorf("core: plan %s, entry %s: %w", r.Plan.ID, ce.entry.Name, err)
 		}

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"optimatch/internal/core"
+	"optimatch/internal/workload"
+)
+
+// slowQuery joins two unanchored transitive closures with no shared
+// variable: a cross product of O(n^2) path relations per plan, far too much
+// work to finish inside the test deadlines but cancellable within one
+// poll stride.
+const slowQuery = `PREFIX preduri: <http://optimatch/pred/>
+SELECT ?a ?y WHERE { ?x preduri:hasChildPop+ ?y . ?a preduri:hasChildPop+ ?b }`
+
+const fastQuery = `PREFIX preduri: <http://optimatch/pred/>
+SELECT ?op WHERE { ?op preduri:hasPopType "TBSCAN" } LIMIT 1`
+
+// slowServer serves a workload big enough that slowQuery runs for seconds
+// if nothing stops it.
+func slowServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{Seed: 3, NumPlans: 30, MinOps: 20, MaxOps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New()
+	if err := eng.LoadPlans(w.Plans); err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, nil, opts...)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestDeadlineReturns504(t *testing.T) {
+	s, ts := slowServer(t, WithQueryTimeout(10*time.Millisecond))
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/api/sparql", "text/plain", strings.NewReader(slowQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	// The cooperative checks poll every few hundred iterations, so the 504
+	// should land promptly after the 10ms deadline — the bound is generous
+	// only for loaded CI machines.
+	if elapsed > time.Second {
+		t.Fatalf("504 took %v; deadline enforcement is not prompt", elapsed)
+	}
+	if got := s.exec.snapshot().Deadline; got < 1 {
+		t.Fatalf("exec.Deadline = %d, want >= 1", got)
+	}
+}
+
+func TestHeaderShortensDeadlineNeverExtends(t *testing.T) {
+	s := New(core.New(), nil, WithQueryTimeout(30*time.Second))
+
+	r := httptest.NewRequest("POST", "/api/sparql", nil)
+	r.Header.Set("X-Timeout-Ms", "5")
+	ctx, cancel := s.execContext(r)
+	d, ok := ctx.Deadline()
+	cancel()
+	if !ok || time.Until(d) > 10*time.Millisecond {
+		t.Fatalf("header did not shorten the deadline (deadline in %v)", time.Until(d))
+	}
+
+	r = httptest.NewRequest("POST", "/api/sparql", nil)
+	r.Header.Set("X-Timeout-Ms", "3600000") // 1h: above the server cap
+	ctx, cancel = s.execContext(r)
+	d, ok = ctx.Deadline()
+	cancel()
+	if !ok || time.Until(d) > 31*time.Second {
+		t.Fatalf("header extended the deadline past the cap (deadline in %v)", time.Until(d))
+	}
+
+	// Malformed and non-positive values are ignored.
+	for _, bad := range []string{"abc", "-5", "0", ""} {
+		r = httptest.NewRequest("POST", "/api/sparql", nil)
+		r.Header.Set("X-Timeout-Ms", bad)
+		ctx, cancel = s.execContext(r)
+		d, ok = ctx.Deadline()
+		cancel()
+		if !ok || time.Until(d) < 29*time.Second {
+			t.Fatalf("header %q changed the deadline (deadline in %v)", bad, time.Until(d))
+		}
+	}
+}
+
+// deadlineWithConcurrentFastQuery is the acceptance scenario: a doomed slow
+// query must not take fast traffic down with it.
+func TestDeadlineWithConcurrentFastQuery(t *testing.T) {
+	_, ts := slowServer(t, WithQueryTimeout(time.Minute))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequest("POST", ts.URL+"/api/sparql", strings.NewReader(slowQuery))
+		req.Header.Set("X-Timeout-Ms", "10")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("slow query: %v", err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Errorf("slow query status = %d, want 504", resp.StatusCode)
+		}
+	}()
+
+	resp, err := http.Post(ts.URL+"/api/sparql", "text/plain", strings.NewReader(fastQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast query status = %d, want 200", resp.StatusCode)
+	}
+	wg.Wait()
+}
+
+func TestAdmissionShedsWith503(t *testing.T) {
+	s, ts := slowServer(t,
+		WithQueryTimeout(time.Minute),
+		WithAdmission(1, 5*time.Millisecond))
+
+	// Occupy the only slot with a slow query we can abort afterwards.
+	slowCtx, stopSlow := context.WithCancel(context.Background())
+	defer stopSlow()
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		req, _ := http.NewRequestWithContext(slowCtx, "POST", ts.URL+"/api/sparql", strings.NewReader(slowQuery))
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	waitFor(t, func() bool { return s.exec.snapshot().InFlight >= 1 })
+
+	resp, err := http.Post(ts.URL+"/api/sparql", "text/plain", strings.NewReader(fastQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.Error, "overloaded") {
+		t.Fatalf("error body %q does not mention overload", eb.Error)
+	}
+
+	// The shed counter is on /api/stats (ungated) and /metrics.
+	var stats struct {
+		Exec ExecStats `json:"exec"`
+	}
+	getJSON(t, ts.URL+"/api/stats", http.StatusOK, &stats)
+	if stats.Exec.Shed < 1 {
+		t.Fatalf("exec.shed = %d, want >= 1", stats.Exec.Shed)
+	}
+
+	stopSlow()
+	<-slowDone
+	waitFor(t, func() bool { return s.exec.snapshot().InFlight == 0 })
+}
+
+func TestClientDisconnectLogs499(t *testing.T) {
+	var buf syncBuffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	s, ts := slowServer(t, WithQueryTimeout(time.Minute), WithLogger(log))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/api/sparql", strings.NewReader(slowQuery))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	waitFor(t, func() bool { return s.exec.snapshot().InFlight >= 1 })
+	cancel() // client hangs up mid-scan
+	<-done
+
+	waitFor(t, func() bool { return s.exec.snapshot().Cancelled >= 1 })
+	waitFor(t, func() bool {
+		line := buf.String()
+		return strings.Contains(line, "client closed request") &&
+			strings.Contains(line, fmt.Sprintf("status=%d", StatusClientClosedRequest))
+	})
+}
+
+func TestKBRunHonoursDeadline(t *testing.T) {
+	_, ts := slowServer(t, WithQueryTimeout(time.Minute))
+	req, _ := http.NewRequest("POST", ts.URL+"/api/kb/run", nil)
+	req.Header.Set("X-Timeout-Ms", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// A 1ms budget may or may not expire before the scan ends on a fast
+	// machine; both 200 and 504 are legal, anything else is not.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 200 or 504", resp.StatusCode)
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the logger goroutine + test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSemaphoreFIFOAndWeights(t *testing.T) {
+	sem := newSemaphore(2)
+	if err := sem.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// A queued waiter is granted in FIFO order on release.
+	got := make(chan int, 2)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		if err := sem.Acquire(context.Background(), 1); err == nil {
+			got <- 1
+		}
+	}()
+	<-ready
+	waitFor(t, func() bool {
+		sem.mu.Lock()
+		defer sem.mu.Unlock()
+		return sem.waiters.Len() == 1
+	})
+	sem.Release(2)
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter never granted")
+	}
+	sem.Release(1)
+
+	// Weights above the size are clamped, not deadlocked.
+	if err := sem.Acquire(context.Background(), 99); err != nil {
+		t.Fatalf("oversized acquire: %v", err)
+	}
+	sem.Release(99)
+
+	// A cancelled waiter leaves the queue and does not wedge later grants.
+	if err := sem.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := sem.Acquire(ctx, 1); err == nil {
+		t.Fatal("acquire over capacity succeeded")
+	}
+	sem.Release(2)
+	if err := sem.Acquire(context.Background(), 2); err != nil {
+		t.Fatalf("post-cancel acquire: %v", err)
+	}
+	sem.Release(2)
+}

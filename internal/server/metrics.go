@@ -119,6 +119,18 @@ func (s *Server) registerStateMetrics() {
 	reg.CounterFunc(evalName, evalHelp, func() float64 { return float64(s.eng.EvalStats().Fallback) }, "path", "fallback")
 	reg.CounterFunc(evalName, evalHelp, func() float64 { return float64(s.eng.EvalStats().ConstantBailouts) }, "path", "constant_bailout")
 
+	reg.GaugeFunc("optimatch_exec_in_flight", "Weighted units of engine scan work currently admitted.",
+		func() float64 { return float64(s.exec.inFlight.Load()) })
+	reg.CounterFunc("optimatch_exec_cancelled_total",
+		"Engine executions stopped because the client disconnected or the daemon shut down.",
+		func() float64 { return float64(s.exec.cancelled.Load()) })
+	reg.CounterFunc("optimatch_exec_deadline_total",
+		"Engine executions stopped at their query deadline (504s).",
+		func() float64 { return float64(s.exec.deadline.Load()) })
+	reg.CounterFunc("optimatch_exec_shed_total",
+		"Requests turned away by the admission gate (503s).",
+		func() float64 { return float64(s.exec.shed.Load()) })
+
 	const pathName = "optimatch_sparql_path_total"
 	const pathHelp = "Property-path closure acceleration events by kind (CSR snapshot builds/cache hits, per-evaluation memo hits/misses)."
 	reg.CounterFunc(pathName, pathHelp, func() float64 { return float64(s.eng.EvalStats().Path.CSRBuilds) }, "kind", "csr_build")

@@ -104,7 +104,14 @@ func (s *Server) withObservability(mux *http.ServeMux) http.Handler {
 				slog.Duration("elapsed", elapsed),
 				slog.String("remote", r.RemoteAddr),
 			}
-			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+			// A 499 means the client hung up mid-request: log it under its
+			// own message so disconnect spikes are one grep away, and never
+			// as an ordinary "request" that appears to have been answered.
+			msg := "request"
+			if rec.status == StatusClientClosedRequest {
+				msg = "client closed request"
+			}
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, msg, attrs...)
 			if s.slow > 0 && elapsed >= s.slow {
 				s.log.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
 					append(attrs, slog.Duration("threshold", s.slow))...)

@@ -24,6 +24,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,6 +57,11 @@ type Server struct {
 	metrics *obs.Registry // nil: no /metrics endpoint
 	slow    time.Duration // 0: no slow-request log line
 	maxBody int64
+
+	queryTimeout time.Duration   // 0: engine executions run without a deadline
+	adm          *admission      // nil: no admission gate
+	baseCtx      context.Context // nil: shutdown indistinguishable from disconnect
+	exec         execCounters
 
 	// mu guards kb access: mutation handlers hold the write lock (also
 	// around write-through store calls), read handlers the read lock.
@@ -104,6 +110,44 @@ func WithMaxBody(n int64) Option {
 	}
 }
 
+// WithQueryTimeout bounds every engine execution (search, SPARQL, kb/run)
+// to d. Executions that hit the deadline return 504 Gateway Timeout. A
+// client can shorten — never extend — the deadline per request with an
+// X-Timeout-Ms header. 0 disables the deadline.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.queryTimeout = d
+		}
+	}
+}
+
+// WithAdmission caps concurrently admitted scan work at maxInflight
+// weighted units (search and SPARQL cost 1, a kb/run full scan 2).
+// Requests over the cap wait FIFO for at most queueWait, then are shed
+// with 503 + Retry-After. maxInflight <= 0 disables the gate.
+func WithAdmission(maxInflight int, queueWait time.Duration) Option {
+	return func(s *Server) {
+		if maxInflight <= 0 {
+			return
+		}
+		if queueWait <= 0 {
+			queueWait = time.Nanosecond // queue disabled: shed immediately
+		}
+		s.adm = &admission{sem: newSemaphore(int64(maxInflight)), queueWait: queueWait}
+	}
+}
+
+// WithBaseContext tells the server which context its http.Server derives
+// request contexts from (wire the same context into
+// http.Server.BaseContext). When engine work is cancelled, the server
+// checks this context to tell daemon shutdown (503 + Retry-After, the
+// connection is still open) apart from a client disconnect (499, nobody is
+// listening).
+func WithBaseContext(ctx context.Context) Option {
+	return func(s *Server) { s.baseCtx = ctx }
+}
+
 // New returns a server over the given engine and knowledge base. A nil
 // knowledge base starts with the canonical expert patterns.
 func New(eng *core.Engine, base *kb.KnowledgeBase, opts ...Option) *Server {
@@ -128,12 +172,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/plans/{id}", s.handleDeletePlan)
 	mux.HandleFunc("GET /api/plans/{id}/render", s.handleRenderPlan)
 	mux.HandleFunc("GET /api/plans/{id}/rdf", s.handlePlanRDF)
-	mux.HandleFunc("POST /api/search", s.handleSearch)
-	mux.HandleFunc("POST /api/sparql", s.handleSPARQL)
+	// The three exec routes run engine scans: they share the admission
+	// gate, with a full knowledge-base scan weighing twice a point query.
+	mux.HandleFunc("POST /api/search", s.gated(1, s.handleSearch))
+	mux.HandleFunc("POST /api/sparql", s.gated(1, s.handleSPARQL))
 	mux.HandleFunc("GET /api/kb", s.handleListKB)
 	mux.HandleFunc("POST /api/kb/entries", s.handleAddEntry)
 	mux.HandleFunc("DELETE /api/kb/entries/{name}", s.handleDeleteEntry)
-	mux.HandleFunc("POST /api/kb/run", s.handleRunKB)
+	mux.HandleFunc("POST /api/kb/run", s.gated(2, s.handleRunKB))
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("POST /api/admin/compact", s.handleCompact)
 	if s.metrics != nil {
@@ -309,9 +355,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	matches, err := s.eng.FindPattern(p)
+	ctx, cancel := s.execContext(r)
+	defer cancel()
+	matches, err := s.eng.FindPatternContext(ctx, p)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		if !s.execError(w, r, err) {
+			writeError(w, http.StatusUnprocessableEntity, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -330,9 +380,13 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query"))
 		return
 	}
-	matches, err := s.eng.FindSPARQL(query)
+	ctx, cancel := s.execContext(r)
+	defer cancel()
+	matches, err := s.eng.FindSPARQLContext(ctx, query)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		if !s.execError(w, r, err) {
+			writeError(w, http.StatusUnprocessableEntity, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"matches": matchesToWire(matches)})
@@ -435,15 +489,19 @@ type reportBody struct {
 	Recommendations []recBody `json:"recommendations,omitempty"`
 }
 
-func (s *Server) handleRunKB(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleRunKB(w http.ResponseWriter, r *http.Request) {
 	// Scan a point-in-time snapshot: the entry list is fixed here, so a
 	// concurrent POST /api/kb/entries cannot race the walk below.
 	s.mu.RLock()
 	base := s.kb.Snapshot()
 	s.mu.RUnlock()
-	reports, err := s.eng.RunKB(base)
+	ctx, cancel := s.execContext(r)
+	defer cancel()
+	reports, err := s.eng.RunKBContext(ctx, base)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		if !s.execError(w, r, err) {
+			writeError(w, http.StatusInternalServerError, err)
+		}
 		return
 	}
 	out := make([]reportBody, 0, len(reports))
@@ -472,6 +530,7 @@ type statsBody struct {
 	Prefilter  core.PrefilterStats `json:"prefilter"`
 	QueryCache core.CacheStats     `json:"queryCache"`
 	Eval       sparql.EvalSnapshot `json:"eval"`
+	Exec       ExecStats           `json:"exec"`
 	Store      *store.Stats        `json:"store,omitempty"` // nil without -data
 }
 
@@ -485,6 +544,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Prefilter:  s.eng.PrefilterStats(),
 		QueryCache: s.eng.CacheStats(),
 		Eval:       s.eng.EvalStats(),
+		Exec:       s.exec.snapshot(),
 	}
 	if s.st != nil {
 		st := s.st.Stats()

@@ -260,6 +260,9 @@ func (ctx *evalCtx) evalGrouped(q *Query, sols []solution) (*Results, error) {
 	}
 	var rows []groupRow
 	for _, g := range groups {
+		if err := ctx.cancel.check(); err != nil {
+			return nil, err
+		}
 		values := make(map[string]rdf.Term, len(aggs))
 		for key, agg := range aggs {
 			v, err := computeAggregate(ctx, agg, g)
@@ -334,6 +337,9 @@ func (ctx *evalCtx) evalGrouped(q *Query, sols []solution) (*Results, error) {
 		keyer.dict = ctx.g.Dict()
 	}
 	for _, row := range rows {
+		if err := ctx.cancel.check(); err != nil {
+			return nil, err
+		}
 		out := make([]rdf.Term, len(q.Select))
 		for i, item := range q.Select {
 			expr := substituteAggregates(item.Expr, row.values)

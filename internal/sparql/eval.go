@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,13 @@ import (
 // ExecOptions tunes query evaluation. The zero value is the default
 // configuration.
 type ExecOptions struct {
+	// Ctx, when non-nil, bounds the evaluation: the evaluator polls it
+	// cooperatively inside every binding loop, closure BFS and projection
+	// pass (every cancelStride iterations, so the overhead without
+	// cancellation is one pointer check per iteration) and returns
+	// ctx.Err() as soon as cancellation is observed. A nil Ctx (or one
+	// that can never be cancelled) costs nothing.
+	Ctx context.Context
 	// DisableReorder turns off the selectivity-based join-order heuristic
 	// for basic graph patterns; patterns evaluate in textual order. Used by
 	// the ablation benchmarks.
@@ -36,6 +44,70 @@ type ExecOptions struct {
 	// The same EvalStats may be shared by concurrent evaluations (the
 	// counters are atomic); nil costs nothing on the hot path.
 	Stats *EvalStats
+}
+
+// cancelStride is how many loop iterations pass between two polls of the
+// context's done channel. The channel poll is a few nanoseconds, but the
+// binding loops run tens of millions of iterations on pathological queries,
+// so amortizing it keeps the measured overhead of cancellation support under
+// the noise floor of BenchmarkFigure8KBScan while still bounding the
+// reaction latency to a few hundred cheap iterations.
+const cancelStride = 256
+
+// canceller is the cooperative cancellation checkpoint shared by every loop
+// of one evaluation (binding extension, closure BFS, aggregation and
+// projection). A nil *canceller is valid and means "never cancelled", so the
+// common ExecOptions-without-Ctx path pays a single nil check per iteration.
+// Not safe for concurrent use — one canceller lives per evaluation, like the
+// pathEnv it travels with.
+type canceller struct {
+	done <-chan struct{}
+	ctx  context.Context
+	err  error // sticky: first observed cancellation error
+	n    int   // iterations until the next channel poll
+}
+
+// newCanceller returns a checkpoint for ctx, or nil when ctx can never be
+// cancelled (nil context or no done channel).
+func newCanceller(ctx context.Context) *canceller {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &canceller{done: ctx.Done(), ctx: ctx, n: cancelStride}
+}
+
+// check polls the context every cancelStride calls and returns its error
+// once cancellation has been observed (sticky thereafter).
+func (c *canceller) check() error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	c.n--
+	if c.n > 0 {
+		return nil
+	}
+	c.n = cancelStride
+	select {
+	case <-c.done:
+		c.err = c.ctx.Err()
+		return c.err
+	default:
+		return nil
+	}
+}
+
+// tripped reports a cancellation some earlier check observed, without
+// consuming a stride tick. Loops that may produce partial output (closure
+// BFS, path emission) use it so a cancellation seen deep in a callback
+// surfaces as an error instead of a truncated result.
+func (c *canceller) tripped() error {
+	if c == nil {
+		return nil
+	}
+	return c.err
 }
 
 // EvalStats counts evaluator dispatch decisions across executions. The zero
@@ -160,6 +232,11 @@ func (q *Query) Exec(g *rdf.Graph) (*Results, error) {
 
 // ExecOpts evaluates the query against g.
 func (q *Query) ExecOpts(g *rdf.Graph, opts ExecOptions) (*Results, error) {
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if !opts.DisableSpecialization {
 		if opts.Stats != nil {
 			opts.Stats.specialized.Add(1)
@@ -178,13 +255,25 @@ func (q *Query) ExecOpts(g *rdf.Graph, opts ExecOptions) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	var res *Results
 	if q.usesAggregation() {
 		if q.Star {
 			return nil, fmt.Errorf("sparql: SELECT * cannot be combined with aggregation")
 		}
-		return ctx.evalGrouped(q, sols)
+		res, err = ctx.evalGrouped(q, sols)
+	} else {
+		res, err = ctx.project(q, sols)
 	}
-	return ctx.project(q, sols)
+	if err != nil {
+		return nil, err
+	}
+	// A cancellation observed inside a path callback stops emission without
+	// an error return path of its own; surface it here so truncated results
+	// never masquerade as complete ones.
+	if cerr := ctx.cancel.tripped(); cerr != nil {
+		return nil, cerr
+	}
+	return res, nil
 }
 
 // solution is a variable assignment, indexed by the context's variable
@@ -197,6 +286,11 @@ type evalCtx struct {
 	varIndex map[string]int
 	varNames []string
 
+	// cancel is the cooperative cancellation checkpoint for this
+	// evaluation (nil when ExecOptions.Ctx cannot be cancelled). The same
+	// pointer is shared with the pathEnv so closure BFS walks poll it too.
+	cancel *canceller
+
 	// env is the property-path environment shared by every path evaluation
 	// of this execution: it owns the closure memo and the pooled BFS
 	// buffers. The specialized context re-points its own env instead.
@@ -205,7 +299,8 @@ type evalCtx struct {
 
 func newEvalCtx(g *rdf.Graph, q *Query, opts ExecOptions) *evalCtx {
 	ctx := &evalCtx{g: g, opts: opts, varIndex: make(map[string]int)}
-	ctx.env = pathEnv{g: g, noIndex: opts.DisablePathIndex}
+	ctx.cancel = newCanceller(opts.Ctx)
+	ctx.env = pathEnv{g: g, noIndex: opts.DisablePathIndex, cancel: ctx.cancel}
 	for _, v := range q.Where.Vars() {
 		ctx.slot(v)
 	}
@@ -715,6 +810,9 @@ func (ctx *evalCtx) extendTriple(tp TriplePattern, sols []solution) ([]solution,
 
 	var out []solution
 	for _, s := range sols {
+		if err := ctx.cancel.check(); err != nil {
+			return nil, err
+		}
 		sid, oid := constS, constO
 		if sSlot >= 0 && !s[sSlot].Zero() {
 			sid = dict.Lookup(s[sSlot])
@@ -842,6 +940,9 @@ func (ctx *evalCtx) project(q *Query, sols []solution) (*Results, error) {
 		keyer.dict = ctx.g.Dict()
 	}
 	for _, s := range sols {
+		if err := ctx.cancel.check(); err != nil {
+			return nil, err
+		}
 		row := make([]rdf.Term, len(exprs))
 		for i, e := range exprs {
 			if v, err := e.Eval(solView{ctx, s}); err == nil {

@@ -33,6 +33,13 @@ type pathEnv struct {
 	// noIndex pins evaluation to the legacy closure path (ablation).
 	noIndex bool
 
+	// cancel is the evaluation's cooperative cancellation checkpoint
+	// (shared with the evalCtx/specCtx that owns this env; nil means the
+	// evaluation cannot be cancelled). Closure BFS walks poll it per
+	// frontier expansion so an unanchored walk over a large ID space stops
+	// within one stride of the deadline.
+	cancel *canceller
+
 	// stats accumulates path-acceleration counters for this evaluation;
 	// flushed into ExecOptions.Stats when the evaluation finishes.
 	stats PathStats
@@ -235,8 +242,13 @@ func evalMod(env *pathEnv, p ModPath, s, o rdf.ID, emit func(s, o rdf.ID) bool) 
 				return emit(b, a)
 			})
 		default:
-			// Both ends unbound: run a closure from every node.
+			// Both ends unbound: run a closure from every node. This is the
+			// worst case a deadline must be able to interrupt, so poll the
+			// checkpoint between per-start walks as well as inside them.
 			for _, start := range env.g.NodeIDs() {
+				if env.cancel.check() != nil {
+					return false
+				}
 				if !closure(env, p.Inner, start, rdf.NoID, includeZero, false, emit) {
 					return false
 				}
@@ -263,6 +275,9 @@ func emitZeroLength(env *pathEnv, s, o rdf.ID, emit func(s, o rdf.ID) bool) bool
 		return emit(o, o)
 	default:
 		for _, n := range env.g.NodeIDs() {
+			if env.cancel.check() != nil {
+				return false
+			}
 			if !emit(n, n) {
 				return false
 			}
@@ -314,6 +329,9 @@ func closureBackwardCheaper(env *pathEnv, inner Path, s, o rdf.ID) bool {
 // matching pair is emitted. includeZero adds the zero-length (start, start)
 // pair up front (`*` semantics).
 func closure(env *pathEnv, inner Path, start, other rdf.ID, includeZero, backward bool, emit func(s, o rdf.ID) bool) bool {
+	if env.cancel.tripped() != nil {
+		return false
+	}
 	if env.noIndex {
 		return closureLegacy(env, inner, start, other, includeZero, backward, emit)
 	}
@@ -346,7 +364,9 @@ func closure(env *pathEnv, inner Path, start, other rdf.ID, includeZero, backwar
 }
 
 // closureSet returns the memoized closure of inner from start, running the
-// BFS on a miss.
+// BFS on a miss. A BFS interrupted by cancellation yields a partial set that
+// is NOT memoized: the evaluation is about to fail with the context error,
+// and a later evaluation must never replay truncated reachability as truth.
 func (env *pathEnv) closureSet(inner Path, start rdf.ID, backward bool) *closureSet {
 	key := closureKey{path: PathString(inner), backward: backward, start: start}
 	if set, ok := env.memo[key]; ok {
@@ -354,11 +374,13 @@ func (env *pathEnv) closureSet(inner Path, start rdf.ID, backward bool) *closure
 		return set
 	}
 	env.stats.MemoMisses++
-	set := env.runBFS(inner, start, backward)
-	if env.memo == nil {
-		env.memo = make(map[closureKey]*closureSet)
+	set, complete := env.runBFS(inner, start, backward)
+	if complete {
+		if env.memo == nil {
+			env.memo = make(map[closureKey]*closureSet)
+		}
+		env.memo[key] = set
 	}
-	env.memo[key] = set
 	return set
 }
 
@@ -366,13 +388,15 @@ func (env *pathEnv) closureSet(inner Path, start rdf.ID, backward bool) *closure
 // direction: over CSR adjacency slices when the inner path is a (possibly
 // inverted) plain predicate, through the generic path evaluator otherwise —
 // either way with a pooled bitset visited set and reusable frontiers.
-func (env *pathEnv) runBFS(inner Path, start rdf.ID, backward bool) *closureSet {
+// complete is false when the walk was interrupted by cancellation; the
+// returned set is then partial and must not be memoized.
+func (env *pathEnv) runBFS(inner Path, start rdf.ID, backward bool) (set *closureSet, complete bool) {
 	var csr *rdf.CSR
 	useIn := backward
 	if iri, inverted, ok := basePred(inner); ok {
 		pid := env.predID(iri)
 		if pid == rdf.NoID {
-			return &closureSet{}
+			return &closureSet{}, true
 		}
 		c, built := env.g.PredCSR(pid)
 		if built {
@@ -391,7 +415,8 @@ func (env *pathEnv) runBFS(inner Path, start rdf.ID, backward bool) *closureSet 
 	next := env.getIDs()
 	bitSet(visited, start)
 
-	set := &closureSet{}
+	set = &closureSet{}
+	complete = true
 	cycled := false
 	steps := int64(0)
 	visit := func(to rdf.ID) {
@@ -410,9 +435,14 @@ func (env *pathEnv) runBFS(inner Path, start rdf.ID, backward bool) *closureSet 
 		set.reached = append(set.reached, to)
 		next = append(next, to)
 	}
+bfs:
 	for len(frontier) > 0 {
 		next = next[:0]
 		for _, from := range frontier {
+			if env.cancel.check() != nil {
+				complete = false
+				break bfs
+			}
 			switch {
 			case csr != nil && useIn:
 				for _, to := range csr.In(from) {
@@ -442,12 +472,14 @@ func (env *pathEnv) runBFS(inner Path, start rdf.ID, backward bool) *closureSet 
 	env.putVisited(visited, set.reached)
 	env.putIDs(frontier)
 	env.putIDs(next)
-	return set
+	return set, complete
 }
 
 // closureLegacy is the seed-era closure: per-start map visited set, stepping
-// through the generic path evaluator. Kept verbatim as the ablation
-// baseline (ExecOptions.DisablePathIndex).
+// through the generic path evaluator. Kept as the ablation baseline
+// (ExecOptions.DisablePathIndex); the only post-seed addition is the
+// cooperative cancellation poll, which the ablated configuration needs just
+// as much as the indexed one.
 func closureLegacy(env *pathEnv, inner Path, start, other rdf.ID, includeZero, backward bool, emit func(s, o rdf.ID) bool) bool {
 	// emittedStart tracks whether the (start, start) pair has been produced:
 	// by the zero-length component for `*`, or — for `+` — by a cycle back
@@ -472,6 +504,9 @@ func closureLegacy(env *pathEnv, inner Path, start, other rdf.ID, includeZero, b
 	for len(frontier) > 0 {
 		var next []rdf.ID
 		for _, n := range frontier {
+			if env.cancel.check() != nil {
+				return false
+			}
 			stopped := !step(n, func(to rdf.ID) bool {
 				if to == start {
 					// A cycle back to the start: (start, start) is reachable

@@ -92,7 +92,7 @@ func newSpecCtx(g *rdf.Graph, q *Query, opts ExecOptions) *specCtx {
 	for _, t := range an.Consts {
 		sc.constIDs[t] = dict.Lookup(t)
 	}
-	sc.env = pathEnv{g: g, noIndex: opts.DisablePathIndex, pred: func(iri string) rdf.ID {
+	sc.env = pathEnv{g: g, noIndex: opts.DisablePathIndex, cancel: sc.cancel, pred: func(iri string) rdf.ID {
 		return sc.constID(rdf.IRI(iri))
 	}}
 	return sc
@@ -176,9 +176,9 @@ func (q *Query) execSpecialized(g *rdf.Graph, opts ExecOptions) (*Results, error
 	// aggregates over the empty solution set behave exactly as in the
 	// term-space path.
 	var isols []isol
+	var err error
 	if q.Analysis().RequiredIn(g) {
 		seed := []isol{make(isol, len(sc.varNames))}
-		var err error
 		isols, err = sc.evalGroupIDs(q.Where, seed)
 		if err != nil {
 			return nil, err
@@ -186,17 +186,29 @@ func (q *Query) execSpecialized(g *rdf.Graph, opts ExecOptions) (*Results, error
 	} else if opts.Stats != nil {
 		opts.Stats.constantBailout.Add(1)
 	}
-	if q.usesAggregation() {
+	var res *Results
+	var ok bool
+	switch {
+	case q.usesAggregation():
 		if q.Star {
 			return nil, fmt.Errorf("sparql: SELECT * cannot be combined with aggregation")
 		}
-		return sc.evalCtx.evalGrouped(q, sc.toTermSolutions(isols))
+		res, err = sc.evalCtx.evalGrouped(q, sc.toTermSolutions(isols))
+	default:
+		if res, ok, err = sc.projectIDs(q, isols); err == nil && !ok {
+			sols = sc.toTermSolutions(isols)
+			res, err = sc.evalCtx.project(q, sols)
+		}
 	}
-	if res, ok := sc.projectIDs(q, isols); ok {
-		return res, nil
+	if err != nil {
+		return nil, err
 	}
-	sols = sc.toTermSolutions(isols)
-	return sc.evalCtx.project(q, sols)
+	// Mirror ExecOpts: a cancellation observed mid-path must not let a
+	// truncated result escape as a complete one.
+	if cerr := sc.cancel.tripped(); cerr != nil {
+		return nil, cerr
+	}
+	return res, nil
 }
 
 // projectIDs applies SELECT, DISTINCT, ORDER BY, LIMIT and OFFSET directly
@@ -208,7 +220,7 @@ func (q *Query) execSpecialized(g *rdf.Graph, opts ExecOptions) (*Results, error
 // materialize only for sort keys and for rows that survive DISTINCT and
 // LIMIT/OFFSET; dictionary interning makes an ID tuple an exact stand-in
 // for a term tuple in the DISTINCT probe.
-func (sc *specCtx) projectIDs(q *Query, sols []isol) (*Results, bool) {
+func (sc *specCtx) projectIDs(q *Query, sols []isol) (*Results, bool, error) {
 	var vars []string
 	var slots []int
 	slotOf := func(name string) int {
@@ -228,7 +240,7 @@ func (sc *specCtx) projectIDs(q *Query, sols []isol) (*Results, bool) {
 		for _, item := range q.Select {
 			ve, ok := item.Expr.(VarExpr)
 			if !ok {
-				return nil, false
+				return nil, false, nil
 			}
 			vars = append(vars, item.Alias)
 			slots = append(slots, slotOf(ve.Name))
@@ -238,7 +250,7 @@ func (sc *specCtx) projectIDs(q *Query, sols []isol) (*Results, bool) {
 	for j, key := range q.OrderBy {
 		ve, ok := key.Expr.(VarExpr)
 		if !ok {
-			return nil, false
+			return nil, false, nil
 		}
 		orderSlots[j] = slotOf(ve.Name)
 	}
@@ -289,6 +301,9 @@ func (sc *specCtx) projectIDs(q *Query, sols []isol) (*Results, bool) {
 		seen = make(map[string]bool, len(sols))
 	}
 	for _, s := range sols {
+		if err := sc.cancel.check(); err != nil {
+			return nil, true, err
+		}
 		if q.Distinct {
 			keyBuf = keyBuf[:0]
 			for _, slot := range slots {
@@ -331,7 +346,7 @@ func (sc *specCtx) projectIDs(q *Query, sols []isol) (*Results, bool) {
 			res.Rows[i] = row
 		}
 	}
-	return res, true
+	return res, true, nil
 }
 
 // toTermSolutions converts ID-space solutions to term space for the shared
@@ -859,6 +874,9 @@ func (sc *specCtx) extendTripleIDs(tp TriplePattern, sols []isol) ([]isol, error
 
 	var out []isol
 	for _, s := range sols {
+		if err := sc.cancel.check(); err != nil {
+			return nil, err
+		}
 		sid, oid := constS, constO
 		if sSlot >= 0 && s[sSlot] != rdf.NoID {
 			sid = s[sSlot]
