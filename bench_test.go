@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"optimatch/internal/cache"
 	"optimatch/internal/core"
 	"optimatch/internal/kb"
 	"optimatch/internal/obs"
@@ -128,10 +129,28 @@ func BenchmarkFigure8KBScan(b *testing.B) {
 	// Same configuration as fast but with the full metrics pipeline attached,
 	// to pin the observability overhead on the hot path (budget: <2%).
 	instrumented := build(core.WithInstrumentation(server.EngineInstrumentation(obs.NewRegistry())))
+	// Same configuration as fast plus the generation-keyed result cache:
+	// after the warm-up below, every RunKB is a cache hit. Acceptance target
+	// (DESIGN.md §13): ≥10× faster than the accelerated cold scan.
+	cached := build(core.WithResultCache(cache.New(cache.Config{MaxBytes: 256 << 20})))
 
 	fastReports, err := fast.RunKB(k)
 	if err != nil {
 		b.Fatal(err)
+	}
+	cachedReports, err := cached.RunKB(k) // warm the cache
+	if err != nil {
+		b.Fatal(err)
+	}
+	if renderReports(fastReports) != renderReports(cachedReports) {
+		b.Fatal("cached engine's KB reports differ from uncached")
+	}
+	warmReports, err := cached.RunKB(k) // served from cache
+	if err != nil {
+		b.Fatal(err)
+	}
+	if renderReports(fastReports) != renderReports(warmReports) {
+		b.Fatal("warm cache hit returned different KB reports")
 	}
 	slowReports, err := slow.RunKB(k)
 	if err != nil {
@@ -153,6 +172,7 @@ func BenchmarkFigure8KBScan(b *testing.B) {
 		eng  *core.Engine
 	}{
 		{"accelerated", fast},
+		{"cached-warm", cached},
 		{"instrumented", instrumented},
 		{"no-path-index", noPath},
 		{"prefilter-only", mid},
@@ -169,6 +189,67 @@ func BenchmarkFigure8KBScan(b *testing.B) {
 	}
 	stats := fast.PrefilterStats()
 	b.Logf("prefilter: probed %d pairs, skipped %d", stats.Probed, stats.Skipped)
+}
+
+// BenchmarkCachedKBScan isolates the result cache's three regimes on the
+// Figure 8 workload scan:
+//
+//	cold      — every iteration clears the cache first: full scan + store
+//	warm      — cache warmed once: every iteration is a hit
+//	collapsed — 8 concurrent identical scans against a cleared cache: one
+//	            executes, the rest join its flight
+func BenchmarkCachedKBScan(b *testing.B) {
+	rs, _ := benchResults(b, fig9Config(1000))
+	k := kb.MustExtended()
+	c := cache.New(cache.Config{MaxBytes: 256 << 20})
+	eng := core.New(core.WithResultCache(c))
+	for _, r := range rs {
+		if err := eng.LoadResult(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Clear()
+			if _, err := eng.RunKB(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := eng.RunKB(k); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunKB(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("collapsed", func(b *testing.B) {
+		const concurrent = 8
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Clear()
+			var wg sync.WaitGroup
+			for j := 0; j < concurrent; j++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := eng.RunKB(k); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		st := c.Stats()
+		b.ReportMetric(float64(st.Collapsed), "collapsed-total")
+	})
 }
 
 // BenchmarkFigure9WorkloadSize regenerates Figure 9: pattern search time as

@@ -27,6 +27,12 @@
 // expiry), and -max-inflight/-queue-wait add an admission gate that sheds
 // excess load with 503 + Retry-After instead of queueing without bound.
 //
+// Repeated searches and scans are served from a generation-keyed result
+// cache (-cache-bytes budget, optional -cache-ttl/-cache-min-cost):
+// mutations change the cache key instead of invalidating, concurrent
+// identical requests collapse onto one execution, responses carry an
+// X-Cache header, and Cache-Control: no-cache bypasses per request.
+//
 // On SIGINT/SIGTERM the daemon drains in-flight requests — cancelling
 // still-running engine scans halfway through the drain window — and
 // flushes the store before exiting.
@@ -47,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"optimatch/internal/cache"
 	"optimatch/internal/core"
 	"optimatch/internal/kb"
 	"optimatch/internal/obs"
@@ -75,6 +82,9 @@ func run() error {
 		data         = flag.String("data", "", "durable store directory (empty: in-memory only, state lost on exit)")
 		compactEvery = flag.Int64("compact-every", 1024, "auto-compact the store once its WAL holds this many records (0: manual only)")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "deadline for one engine execution (search/sparql/kb-run); clients may shorten it per request with X-Timeout-Ms (0: no deadline)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "byte budget for the generation-keyed result cache (0: caching disabled)")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "optional max age for cached results; generation keying already guarantees freshness, a TTL only bounds memory held by idle entries (0: no TTL)")
+		cacheMinCost = flag.Duration("cache-min-cost", 0, "only cache results whose execution took at least this long (0: cache everything)")
 		maxInflight  = flag.Int("max-inflight", 0, "cap on concurrently admitted scan work, in weighted units (kb/run counts 2, search/sparql 1; 0: unlimited)")
 		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "how long a request may queue for an admission slot before being shed with 503")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -101,6 +111,19 @@ func run() error {
 		core.WithInstrumentation(server.EngineInstrumentation(reg)),
 	}
 
+	// One cache instance backs both tiers: the engine caches structured scan
+	// results, the server caches rendered response bytes. Namespaced keys
+	// keep them apart while one -cache-bytes budget bounds the total.
+	var resCache *cache.Cache
+	if *cacheBytes > 0 {
+		resCache = cache.New(cache.Config{
+			MaxBytes: *cacheBytes,
+			TTL:      *cacheTTL,
+			MinCost:  *cacheMinCost,
+		})
+		engOpts = append(engOpts, core.WithResultCache(resCache))
+	}
+
 	base, err := loadKB(*kbFile, *extended)
 	if err != nil {
 		return err
@@ -120,6 +143,9 @@ func run() error {
 		server.WithQueryTimeout(*queryTimeout),
 		server.WithAdmission(*maxInflight, *queueWait),
 		server.WithBaseContext(execCtx),
+	}
+	if resCache != nil {
+		serverOpts = append(serverOpts, server.WithResultCache(resCache))
 	}
 	var (
 		eng *core.Engine

@@ -1,0 +1,310 @@
+package cache
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// entryOverhead is the accounting charge, per entry, for the LRU list
+// element, map slot and entry header — so a budget of N bytes bounds real
+// memory near N even for many small entries.
+const entryOverhead = 128
+
+// Config tunes a Cache.
+type Config struct {
+	// MaxBytes is the budget for resident entries (key + value + fixed
+	// per-entry overhead). Required; New panics on MaxBytes <= 0.
+	MaxBytes int64
+	// TTL, when positive, expires entries that have been resident longer
+	// than this, independent of generation keying. Generation keys already
+	// guarantee freshness; a TTL additionally bounds how long orphaned
+	// generations may occupy budget before eviction would get to them.
+	TTL time.Duration
+	// MinCost is the cost-aware admission floor: only results whose
+	// computation took at least this long are stored. Cheap results are
+	// cheaper to recompute than to hold under a contended byte budget.
+	// 0 admits everything.
+	MinCost time.Duration
+}
+
+// Outcome classifies how one Do call was served.
+type Outcome int
+
+const (
+	// Bypass: no cache configured, or the context opted out (WithBypass).
+	Bypass Outcome = iota
+	// Hit: served from a resident entry.
+	Hit
+	// Miss: this call executed the function and (if admitted) stored it.
+	Miss
+	// Collapsed: this call waited on another call's in-flight execution.
+	Collapsed
+)
+
+// String returns the X-Cache header form of the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Collapsed:
+		return "collapsed"
+	default:
+		return "bypass"
+	}
+}
+
+// Result is what a Do function returns: the value, its precise size in
+// bytes (rendered length for []byte values, an estimate for structured
+// ones), and a NoStore escape hatch for results that are valid to return
+// but not to cache — e.g. a scan that observed a different data generation
+// than the one baked into the key.
+type Result struct {
+	Val     any
+	Size    int64
+	NoStore bool
+}
+
+// flight is one in-progress execution that concurrent identical requests
+// collapse onto. waiters is guarded by the cache mutex; val/err are written
+// before done is closed and read only after it.
+type flight struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// entry is one resident cache value.
+type entry struct {
+	val    any
+	stored time.Time
+}
+
+// Cache is a byte-bounded, generation-keyed result cache with singleflight
+// collapsing. All methods are safe for concurrent use, and every method is
+// nil-receiver safe (a nil *Cache behaves as "no cache": Do executes the
+// function directly with Outcome Bypass), so call sites need no nil checks.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	lru     *LRU
+	flights map[string]*flight
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapsed atomic.Int64
+	evictions atomic.Int64
+	rejected  atomic.Int64
+	expired   atomic.Int64
+}
+
+// New returns an empty cache. It panics if cfg.MaxBytes <= 0 — an
+// unbounded result cache is a memory leak, and "disabled" is spelled with
+// a nil *Cache.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		panic("cache: Config.MaxBytes must be positive (use a nil *Cache to disable caching)")
+	}
+	c := &Cache{cfg: cfg, lru: NewLRU(0, cfg.MaxBytes), flights: make(map[string]*flight)}
+	c.lru.SetOnEvict(func(string, any, int64) { c.evictions.Add(1) })
+	return c
+}
+
+// Key joins the parts of a cache key with NUL separators, which cannot
+// occur inside query text, plan IDs or generation tokens, so distinct part
+// lists never collide.
+func Key(parts ...string) string { return strings.Join(parts, "\x00") }
+
+// bypassKey marks a context that opts out of caching.
+type bypassKey struct{}
+
+// WithBypass returns a context under which Do executes directly: no
+// lookup, no store, no collapsing. The per-request ablation switch — the
+// server maps Cache-Control: no-cache onto it, and the equivalence tests
+// use it to re-execute uncached.
+func WithBypass(ctx context.Context) context.Context {
+	return context.WithValue(ctx, bypassKey{}, true)
+}
+
+// Bypassed reports whether ctx was marked by WithBypass.
+func Bypassed(ctx context.Context) bool {
+	on, _ := ctx.Value(bypassKey{}).(bool)
+	return on
+}
+
+// Do returns the cached value for key, or executes fn exactly once across
+// all concurrent callers with the same key and caches the result.
+//
+// Execution runs on its own goroutine under a context that is cancelled
+// only when every caller waiting on it has gone away, so one caller's
+// deadline or disconnect never poisons the result for the others; each
+// waiter is individually released by its own ctx. Results are stored only
+// when fn succeeded (a cancelled or deadline-exceeded execution returns a
+// context error and is never cached), did not set NoStore, took at least
+// MinCost to compute, and fits the byte budget on its own.
+func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) (Result, error)) (any, Outcome, error) {
+	if c == nil || Bypassed(ctx) {
+		res, err := fn(ctx)
+		return res.Val, Bypass, err
+	}
+	c.mu.Lock()
+	if e, ok := c.lookupLocked(key); ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		f.waiters++
+		c.mu.Unlock()
+		c.collapsed.Add(1)
+		return c.wait(ctx, f, Collapsed)
+	}
+	c.misses.Add(1)
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.flights[key] = f
+	c.mu.Unlock()
+	go c.run(key, f, fctx, fn)
+	return c.wait(ctx, f, Miss)
+}
+
+// run executes one flight and publishes its result.
+func (c *Cache) run(key string, f *flight, fctx context.Context, fn func(context.Context) (Result, error)) {
+	defer f.cancel()
+	start := time.Now()
+	res, err := fn(fctx)
+	cost := time.Since(start)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.flights, key)
+	f.val, f.err = res.Val, err
+	if err == nil {
+		if !res.NoStore && cost >= c.cfg.MinCost && c.admitLocked(key, res.Size) {
+			c.lru.Add(key, &entry{val: res.Val, stored: time.Now()}, res.Size+int64(len(key))+entryOverhead)
+		} else {
+			c.rejected.Add(1)
+		}
+	}
+	close(f.done)
+}
+
+// admitLocked reports whether a successful result of the given size may be
+// stored: an entry that alone exceeds the budget is rejected outright
+// instead of flushing the whole cache on its way through the LRU.
+func (c *Cache) admitLocked(key string, size int64) bool {
+	return size+int64(len(key))+entryOverhead <= c.cfg.MaxBytes
+}
+
+// wait blocks until the flight completes or ctx is done. A waiter that
+// gives up decrements the flight's refcount and, as the last one out,
+// cancels the execution context — cooperative evaluators then stop within
+// a bounded number of iterations and the (failed) result is not cached.
+func (c *Cache) wait(ctx context.Context, f *flight, oc Outcome) (any, Outcome, error) {
+	select {
+	case <-f.done:
+		return f.val, oc, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		select {
+		case <-f.done:
+			// Completed between ctx firing and taking the lock: the result
+			// is real, deliver it.
+			c.mu.Unlock()
+			return f.val, oc, f.err
+		default:
+		}
+		f.waiters--
+		if f.waiters == 0 {
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return nil, oc, ctx.Err()
+	}
+}
+
+// lookupLocked resolves key against the resident entries, expiring it if
+// the TTL has lapsed.
+func (c *Cache) lookupLocked(key string) (*entry, bool) {
+	v, ok := c.lru.Peek(key)
+	if !ok {
+		return nil, false
+	}
+	e := v.(*entry)
+	if c.cfg.TTL > 0 && time.Since(e.stored) > c.cfg.TTL {
+		// Remove fires the eviction hook; reclassify as expiry.
+		c.lru.Remove(key)
+		c.evictions.Add(-1)
+		c.expired.Add(1)
+		return nil, false
+	}
+	c.lru.Get(key) // touch recency only for live hits
+	return e, true
+}
+
+// Clear drops every resident entry (counters are preserved). Used by the
+// cold-cache benchmarks and tests.
+func (c *Cache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Clear()
+}
+
+// Stats is a point-in-time snapshot of the cache counters, served under
+// /api/stats as the "cache" group and re-exported as optimatch_cache_* in
+// /metrics.
+type Stats struct {
+	// Hits counts Do calls served from a resident entry.
+	Hits int64 `json:"hits"`
+	// Misses counts Do calls that executed (and tried to store) the result.
+	Misses int64 `json:"misses"`
+	// Collapsed counts Do calls that piggybacked on a concurrent miss.
+	Collapsed int64 `json:"collapsed"`
+	// Evictions counts entries displaced by byte-budget pressure.
+	Evictions int64 `json:"evictions"`
+	// Expired counts entries dropped by the TTL at lookup time.
+	Expired int64 `json:"expired"`
+	// Rejected counts successful executions not stored: cost below the
+	// admission floor, NoStore results, or a size over the whole budget.
+	Rejected int64 `json:"rejected"`
+	// Bytes is the charged size of resident entries; Entries their count.
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
+	// HitRatio is hits over all non-bypass lookups (hits+misses+collapsed);
+	// 0 until the first lookup.
+	HitRatio float64 `json:"hitRatio"`
+}
+
+// Stats returns a snapshot of the counters. Safe on a nil cache (all
+// zeros).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Collapsed: c.collapsed.Load(),
+		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
+		Rejected:  c.rejected.Load(),
+	}
+	c.mu.Lock()
+	s.Bytes = c.lru.Bytes()
+	s.Entries = c.lru.Len()
+	c.mu.Unlock()
+	if total := s.Hits + s.Misses + s.Collapsed; total > 0 {
+		s.HitRatio = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,409 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	l := NewLRU(3, 0)
+	var evicted []string
+	l.SetOnEvict(func(key string, _ any, _ int64) { evicted = append(evicted, key) })
+	l.Add("a", 1, 1)
+	l.Add("b", 2, 1)
+	l.Add("c", 3, 1)
+	if _, ok := l.Get("a"); !ok { // touch a: b becomes coldest
+		t.Fatal("a missing")
+	}
+	l.Add("d", 4, 1)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if _, ok := l.Get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestLRUByteBudget(t *testing.T) {
+	l := NewLRU(0, 100)
+	l.Add("a", nil, 40)
+	l.Add("b", nil, 40)
+	if l.Bytes() != 80 {
+		t.Fatalf("Bytes = %d", l.Bytes())
+	}
+	l.Add("c", nil, 40) // over budget: a (coldest) must go
+	if _, ok := l.Peek("a"); ok {
+		t.Error("a survived byte-budget eviction")
+	}
+	if l.Bytes() != 80 || l.Len() != 2 {
+		t.Errorf("after eviction: bytes=%d len=%d", l.Bytes(), l.Len())
+	}
+	// Replacing an entry re-charges its size difference.
+	l.Add("b", nil, 10)
+	if l.Bytes() != 50 {
+		t.Errorf("after replace: bytes=%d", l.Bytes())
+	}
+}
+
+func TestLRURemoveAndClear(t *testing.T) {
+	l := NewLRU(0, 0)
+	l.Add("a", 1, 8)
+	if !l.Remove("a") || l.Remove("a") {
+		t.Error("Remove reporting wrong")
+	}
+	l.Add("b", 2, 8)
+	l.Clear()
+	if l.Len() != 0 || l.Bytes() != 0 {
+		t.Errorf("after Clear: len=%d bytes=%d", l.Len(), l.Bytes())
+	}
+}
+
+func doVal(c *Cache, ctx context.Context, key, val string) (any, Outcome, error) {
+	return c.Do(ctx, key, func(context.Context) (Result, error) {
+		return Result{Val: val, Size: int64(len(val))}, nil
+	})
+}
+
+func TestDoHitMiss(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	ctx := context.Background()
+	v, oc, err := doVal(c, ctx, "k", "first")
+	if err != nil || v != "first" || oc != Miss {
+		t.Fatalf("first Do = (%v, %v, %v)", v, oc, err)
+	}
+	v, oc, err = c.Do(ctx, "k", func(context.Context) (Result, error) {
+		t.Error("fn ran on a resident key")
+		return Result{}, nil
+	})
+	if err != nil || v != "first" || oc != Hit {
+		t.Fatalf("second Do = (%v, %v, %v)", v, oc, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRatio != 0.5 {
+		t.Errorf("hit ratio = %v", st.HitRatio)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, _, err := c.Do(context.Background(), "k", func(context.Context) (Result, error) {
+			calls++
+			return Result{}, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (errors must not be cached)", calls)
+	}
+}
+
+func TestDoBypass(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	ctx := context.Background()
+	if _, _, err := doVal(c, ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	v, oc, err := c.Do(WithBypass(ctx), "k", func(context.Context) (Result, error) {
+		calls++
+		return Result{Val: "fresh", Size: 5}, nil
+	})
+	if err != nil || v != "fresh" || oc != Bypass || calls != 1 {
+		t.Fatalf("bypass Do = (%v, %v, %v), calls=%d", v, oc, err, calls)
+	}
+	// A nil cache bypasses too, with no nil checks at the call site.
+	var nilc *Cache
+	v, oc, err = doVal(nilc, ctx, "k", "direct")
+	if err != nil || v != "direct" || oc != Bypass {
+		t.Fatalf("nil-cache Do = (%v, %v, %v)", v, oc, err)
+	}
+	if st := nilc.Stats(); st != (Stats{}) {
+		t.Errorf("nil stats = %+v", st)
+	}
+}
+
+func TestDoNoStore(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	calls := 0
+	for i := 0; i < 2; i++ {
+		v, _, err := c.Do(context.Background(), "k", func(context.Context) (Result, error) {
+			calls++
+			return Result{Val: "v", Size: 1, NoStore: true}, nil
+		})
+		if err != nil || v != "v" {
+			t.Fatal(v, err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (NoStore results must not be cached)", calls)
+	}
+	if st := c.Stats(); st.Rejected != 2 || st.Entries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCostAwareAdmission(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, MinCost: 5 * time.Millisecond})
+	cheap := 0
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Do(context.Background(), "cheap", func(context.Context) (Result, error) {
+			cheap++
+			return Result{Val: "v", Size: 1}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cheap != 2 {
+		t.Errorf("cheap result cached despite cost floor (calls=%d)", cheap)
+	}
+	costly := 0
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Do(context.Background(), "costly", func(context.Context) (Result, error) {
+			costly++
+			time.Sleep(10 * time.Millisecond)
+			return Result{Val: "v", Size: 1}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if costly != 1 {
+		t.Errorf("costly result not cached (calls=%d)", costly)
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	c := New(Config{MaxBytes: 256})
+	if _, _, err := c.Do(context.Background(), "big", func(context.Context) (Result, error) {
+		return Result{Val: "v", Size: 10_000}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Rejected != 1 {
+		t.Errorf("stats = %+v (oversized entry must be rejected, not flush the cache)", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, TTL: 10 * time.Millisecond})
+	if _, _, err := doVal(c, context.Background(), "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, oc, _ := doVal(c, context.Background(), "k", "v2"); oc != Hit {
+		t.Fatalf("immediate lookup = %v, want Hit", oc)
+	}
+	time.Sleep(20 * time.Millisecond)
+	v, oc, err := doVal(c, context.Background(), "k", "fresh")
+	if err != nil || oc != Miss || v != "fresh" {
+		t.Fatalf("post-TTL Do = (%v, %v, %v)", v, oc, err)
+	}
+	if st := c.Stats(); st.Expired != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestSingleflightCollapse launches many concurrent identical misses and
+// asserts exactly one execution served them all.
+func TestSingleflightCollapse(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, oc, err := c.Do(context.Background(), "k", func(context.Context) (Result, error) {
+				calls.Add(1)
+				<-release
+				return Result{Val: "shared", Size: 6}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i], outcomes[i] = v, oc
+		}(i)
+	}
+	// Wait for the flight to exist, then for all waiters to pile on.
+	for {
+		c.mu.Lock()
+		f := c.flights["k"]
+		ready := f != nil && f.waiters == n
+		c.mu.Unlock()
+		if ready {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	misses, collapsed := 0, 0
+	for i := range outcomes {
+		if vals[i] != "shared" {
+			t.Fatalf("waiter %d got %v", i, vals[i])
+		}
+		switch outcomes[i] {
+		case Miss:
+			misses++
+		case Collapsed:
+			collapsed++
+		}
+	}
+	if misses != 1 || collapsed != n-1 {
+		t.Errorf("misses=%d collapsed=%d", misses, collapsed)
+	}
+	if st := c.Stats(); st.Collapsed != n-1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestWaiterCancelDoesNotPoisonFlight: a waiter that gives up gets its own
+// context error, while the remaining waiter still receives the real result.
+func TestWaiterCancelDoesNotPoisonFlight(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	fn := func(fctx context.Context) (Result, error) {
+		close(started)
+		select {
+		case <-release:
+			return Result{Val: "ok", Size: 2}, nil
+		case <-fctx.Done():
+			return Result{}, fctx.Err()
+		}
+	}
+	type out struct {
+		v   any
+		err error
+	}
+	leader := make(chan out, 1)
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		v, _, err := c.Do(cctx, "k", fn)
+		leader <- out{v, err}
+	}()
+	<-started
+	follower := make(chan out, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), "k", func(context.Context) (Result, error) {
+			t.Error("follower must join the flight, not execute")
+			return Result{}, nil
+		})
+		follower <- out{v, err}
+	}()
+	// Wait until the follower is registered, then cancel the first caller.
+	for {
+		c.mu.Lock()
+		f := c.flights["k"]
+		ready := f != nil && f.waiters == 2
+		c.mu.Unlock()
+		if ready {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	got := <-leader
+	if !errors.Is(got.err, context.Canceled) {
+		t.Fatalf("cancelled caller got err=%v", got.err)
+	}
+	close(release)
+	got = <-follower
+	if got.err != nil || got.v != "ok" {
+		t.Fatalf("surviving waiter got (%v, %v)", got.v, got.err)
+	}
+}
+
+// TestAllWaitersGoneCancelsExecution: when the last waiter abandons a
+// flight, its context fires; the failed execution is not cached and the
+// next request re-executes.
+func TestAllWaitersGoneCancelsExecution(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	executionDone := make(chan error, 1)
+	cctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	_, _, err := func() (any, Outcome, error) {
+		go func() { <-started; cancel() }()
+		return c.Do(cctx, "k", func(fctx context.Context) (Result, error) {
+			close(started)
+			<-fctx.Done() // cooperative evaluator observing cancellation
+			executionDone <- fctx.Err()
+			return Result{}, fctx.Err()
+		})
+	}()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ferr := <-executionDone; !errors.Is(ferr, context.Canceled) {
+		t.Fatalf("flight ctx err = %v (must be cancelled when all waiters leave)", ferr)
+	}
+	// The cancelled result must not have been cached.
+	v, oc, err := doVal(c, context.Background(), "k", "fresh")
+	if err != nil || oc != Miss || v != "fresh" {
+		t.Fatalf("re-Do = (%v, %v, %v)", v, oc, err)
+	}
+}
+
+func TestDeadlineWaiter(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, _, err := c.Do(ctx, "k", func(fctx context.Context) (Result, error) {
+		<-fctx.Done()
+		return Result{}, fctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("deadline-exceeded result cached: %+v", st)
+	}
+}
+
+func TestGenerationKeyedEntriesAgeOut(t *testing.T) {
+	// Old-generation entries are not invalidated, they are orphaned: new
+	// keys stop referencing them and the byte budget evicts them.
+	c := New(Config{MaxBytes: 3 * 512})
+	for gen := 0; gen < 20; gen++ {
+		key := Key("scan", fmt.Sprint(gen))
+		if _, _, err := c.Do(context.Background(), key, func(context.Context) (Result, error) {
+			return Result{Val: gen, Size: 256}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries == 0 || st.Bytes > 3*512 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Error("orphaned generations never evicted")
+	}
+}
+
+func TestKey(t *testing.T) {
+	if Key("a", "b") == Key("ab", "") || Key("a") == Key("a", "") {
+		t.Error("key parts collide")
+	}
+}

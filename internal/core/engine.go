@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"optimatch/internal/cache"
 	"optimatch/internal/kb"
 	"optimatch/internal/pattern"
 	"optimatch/internal/qep"
@@ -75,6 +76,25 @@ func WithPathIndex(enabled bool) Option {
 	return func(e *Engine) { e.pathIndex = enabled }
 }
 
+// WithResultCache installs a result cache on the engine: FindSPARQL,
+// FindPattern and RunKB results are cached keyed by (query or KB identity,
+// engine data generation) and concurrent identical scans collapse onto one
+// execution. Every Load/Remove bumps the generation, so a stale result is
+// never served — old entries are orphaned and age out of the byte budget.
+// Cached result slices are shared between callers and must be treated as
+// read-only (every in-tree caller already does). The same cache instance
+// may also back the server's rendered-response caching; keys are
+// namespaced. Per-execution ablation:
+// sparql.ExecOptions.DisableResultCache (engine-wide, via WithExecOptions)
+// or cache.WithBypass on the call's context (per call).
+func WithResultCache(c *cache.Cache) Option {
+	return func(e *Engine) { e.resCache = c }
+}
+
+// engineIDs hands every engine a process-unique ID so two engines sharing
+// one cache.Cache never collide on (generation, query) keys.
+var engineIDs atomic.Uint64
+
 // Engine holds a workload of transformed plans and matches patterns against
 // it.
 type Engine struct {
@@ -83,6 +103,13 @@ type Engine struct {
 	byID     map[string]*transform.Result
 	workers  int
 	execOpts sparql.ExecOptions
+
+	// id and generation identify the engine's exact plan set for the
+	// result cache: generation is bumped (under mu) by every load and
+	// removal, mirroring rdf.Graph's per-graph counter at workload scope.
+	id         uint64
+	generation atomic.Uint64
+	resCache   *cache.Cache
 
 	prefilter bool
 	pathIndex bool
@@ -103,6 +130,7 @@ func New(opts ...Option) *Engine {
 		workers:   runtime.GOMAXPROCS(0),
 		prefilter: true,
 		pathIndex: true,
+		id:        engineIDs.Add(1),
 	}
 	for _, o := range opts {
 		o(e)
@@ -144,6 +172,7 @@ func (e *Engine) LoadPlan(p *qep.Plan) error {
 	}
 	e.plans = append(e.plans, r)
 	e.byID[p.ID] = r
+	e.generation.Add(1)
 	return nil
 }
 
@@ -159,6 +188,7 @@ func (e *Engine) LoadResult(r *transform.Result) error {
 	}
 	e.plans = append(e.plans, r)
 	e.byID[r.Plan.ID] = r
+	e.generation.Add(1)
 	return nil
 }
 
@@ -230,8 +260,16 @@ func (e *Engine) RemovePlan(id string) bool {
 			break
 		}
 	}
+	e.generation.Add(1)
 	return true
 }
+
+// Generation returns the engine's data generation: a monotonic counter
+// bumped by every plan load and removal. Result-cache keys embed it, so a
+// mutation orphans every cached result instead of racing an invalidation.
+// A value that is stable across a scan proves the scan saw exactly that
+// plan set.
+func (e *Engine) Generation() uint64 { return e.generation.Load() }
 
 // NumPlans reports how many plans are loaded.
 func (e *Engine) NumPlans() int {
@@ -350,14 +388,47 @@ func (e *Engine) FindSPARQL(query string) ([]Match, error) {
 // plans, each running SPARQL evaluation returns from its binding loops and
 // closure walks within a bounded number of iterations, and the pool drains
 // without leaking goroutines. The returned error then wraps ctx.Err().
+//
+// With a result cache configured (WithResultCache), the match list is
+// cached keyed by (query text, data generation) and concurrent identical
+// searches collapse onto one execution; the returned slice is then shared
+// and must be treated as read-only. Cancelled executions are never cached.
 func (e *Engine) FindSPARQLContext(ctx context.Context, query string) ([]Match, error) {
 	q, err := e.getQuery(query)
 	if err != nil {
 		return nil, err
 	}
+	if e.resCache == nil || e.execOpts.DisableResultCache {
+		ms, _, err := e.findSPARQL(ctx, q)
+		return ms, err
+	}
+	// The key pins the generation observed now; if the scan inside the
+	// flight sees a different plan-set generation (a load or removal won
+	// the race), the result is still returned but marked NoStore, so a
+	// newer result is never filed under an older key.
+	keyGen := e.generation.Load()
+	key := cache.Key("core.q", e.cacheID(keyGen), query)
+	v, _, err := e.resCache.Do(ctx, key, func(fctx context.Context) (cache.Result, error) {
+		ms, gen, err := e.findSPARQL(fctx, q)
+		if err != nil {
+			return cache.Result{}, err
+		}
+		return cache.Result{Val: ms, Size: sizeOfMatches(ms), NoStore: gen != keyGen}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms, _ := v.([]Match)
+	return ms, nil
+}
+
+// findSPARQL runs one uncached search, returning the data generation the
+// plan snapshot was taken at (for cache-store validation).
+func (e *Engine) findSPARQL(ctx context.Context, q *sparql.Query) ([]Match, uint64, error) {
 	analysis := q.Analysis()
 	e.mu.RLock()
 	plans := append([]*transform.Result(nil), e.plans...)
+	gen := e.generation.Load()
 	e.mu.RUnlock()
 	if e.instr.Search != nil {
 		defer func(start time.Time) { e.instr.Search(time.Since(start), len(plans)) }(time.Now())
@@ -379,14 +450,14 @@ func (e *Engine) FindSPARQLContext(ctx context.Context, query string) ([]Match, 
 	var out []Match
 	for _, c := range results {
 		if c.err != nil {
-			return nil, c.err
+			return nil, gen, c.err
 		}
 		out = append(out, c.matches...)
 	}
 	if ferr != nil {
-		return nil, ferr
+		return nil, gen, ferr
 	}
-	return out, nil
+	return out, gen, nil
 }
 
 func (e *Engine) matchPlan(ctx context.Context, q *sparql.Query, r *transform.Result) ([]Match, error) {
@@ -458,19 +529,49 @@ func (e *Engine) RunKB(k *kb.KnowledgeBase) ([]PlanReport, error) {
 // fan-out from dispatching further plans, interrupts the SPARQL evaluation
 // of the plan each worker is on, and drains the pool without leaking
 // goroutines before returning an error that wraps ctx.Err().
+//
+// With a result cache configured (WithResultCache), the report list is
+// cached keyed by (knowledge-base identity, data generation) and
+// concurrent identical scans collapse onto one execution; the returned
+// slice is then shared and must be treated as read-only. Cancelled scans
+// are never cached.
 func (e *Engine) RunKBContext(ctx context.Context, k *kb.KnowledgeBase) ([]PlanReport, error) {
+	if e.resCache == nil || e.execOpts.DisableResultCache {
+		reports, _, err := e.runKB(ctx, k)
+		return reports, err
+	}
+	keyGen := e.generation.Load()
+	key := cache.Key("core.kb", e.cacheID(keyGen), k.CacheKey())
+	v, _, err := e.resCache.Do(ctx, key, func(fctx context.Context) (cache.Result, error) {
+		reports, gen, err := e.runKB(fctx, k)
+		if err != nil {
+			return cache.Result{}, err
+		}
+		return cache.Result{Val: reports, Size: sizeOfReports(reports), NoStore: gen != keyGen}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	reports, _ := v.([]PlanReport)
+	return reports, nil
+}
+
+// runKB runs one uncached knowledge-base scan, returning the data
+// generation the plan snapshot was taken at (for cache-store validation).
+func (e *Engine) runKB(ctx context.Context, k *kb.KnowledgeBase) ([]PlanReport, uint64, error) {
 	// Parse every entry query once (cached across RunKB calls).
 	entries := make([]compiledEntry, 0, k.Len())
 	for _, entry := range k.Entries() {
 		q, err := e.getQuery(entry.SPARQL)
 		if err != nil {
-			return nil, fmt.Errorf("core: kb entry %q: %w", entry.Name, err)
+			return nil, 0, fmt.Errorf("core: kb entry %q: %w", entry.Name, err)
 		}
 		entries = append(entries, compiledEntry{entry: entry, query: q, analysis: q.Analysis()})
 	}
 
 	e.mu.RLock()
 	plans := append([]*transform.Result(nil), e.plans...)
+	gen := e.generation.Load()
 	e.mu.RUnlock()
 	if e.instr.KBScan != nil {
 		defer func(start time.Time) { e.instr.KBScan(time.Since(start), len(plans), len(entries)) }(time.Now())
@@ -483,13 +584,13 @@ func (e *Engine) RunKBContext(ctx context.Context, k *kb.KnowledgeBase) ([]PlanR
 	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, gen, err
 		}
 	}
 	if ferr != nil {
-		return nil, ferr
+		return nil, gen, ferr
 	}
-	return reports, nil
+	return reports, gen, nil
 }
 
 // compiledEntry pairs a knowledge-base entry with its parsed query and the

@@ -46,17 +46,21 @@ func WithInstrumentation(in Instrumentation) Option {
 
 // CacheStats is a snapshot of the parse-once query cache's counters.
 type CacheStats struct {
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
-	Size   int   `json:"size"` // parsed queries currently cached
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Size     int   `json:"size"`     // parsed queries currently cached
+	Bytes    int64 `json:"bytes"`    // query-text bytes held by cached entries
+	Capacity int   `json:"capacity"` // LRU entry bound (maxCachedQueries)
 }
 
 // CacheStats returns the query cache's hit/miss counters.
 func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{
-		Hits:   e.cacheHits.Load(),
-		Misses: e.cacheMisses.Load(),
-		Size:   e.queries.len(),
+		Hits:     e.cacheHits.Load(),
+		Misses:   e.cacheMisses.Load(),
+		Size:     e.queries.len(),
+		Bytes:    e.queries.bytes(),
+		Capacity: maxCachedQueries,
 	}
 }
 

@@ -1,0 +1,67 @@
+// Result-cache support for the engine: cache-key identity and size
+// accounting for the structured scan results FindSPARQL and RunKB store
+// through internal/cache. The cache itself is generation-keyed (see
+// WithResultCache); this file only knows how to name and weigh results.
+package core
+
+import (
+	"strconv"
+
+	"optimatch/internal/cache"
+)
+
+// cacheID renders the engine's identity component of a cache key: the
+// process-unique engine ID plus the data generation the key pins. Two
+// engines sharing one cache, or one engine across a mutation, never
+// collide.
+func (e *Engine) cacheID(gen uint64) string {
+	return strconv.FormatUint(e.id, 10) + "." + strconv.FormatUint(gen, 10)
+}
+
+// ResultCacheStats returns the result cache's counters (all zero when no
+// cache is configured — Stats is nil-safe).
+func (e *Engine) ResultCacheStats() cache.Stats {
+	return e.resCache.Stats()
+}
+
+// Per-element accounting overheads for the structured results below: the
+// struct headers, slice headers and pointer fields that string lengths
+// alone would miss. Estimates err on the generous side so a byte budget
+// bounds real memory.
+const (
+	matchOverhead   = 48
+	bindingOverhead = 96
+	reportOverhead  = 64
+	rankedOverhead  = 192
+)
+
+// sizeOfMatches estimates the resident size of a match list. Plan and
+// transform.Result pointers are shared with the engine's own plan table
+// and are not charged; strings are charged at their byte length.
+func sizeOfMatches(ms []Match) int64 {
+	n := int64(matchOverhead) * int64(len(ms))
+	for i := range ms {
+		for j := range ms[i].Bindings {
+			b := &ms[i].Bindings[j]
+			n += bindingOverhead + int64(len(b.Alias)+len(b.Display)+len(b.Term.Value)+len(b.Term.Datatype))
+		}
+	}
+	return n
+}
+
+// sizeOfReports estimates the resident size of a KB report list. Entry,
+// plan and result pointers are shared and not charged; the expanded
+// recommendation text and the occurrence binding maps are.
+func sizeOfReports(reports []PlanReport) int64 {
+	n := int64(reportOverhead) * int64(len(reports))
+	for i := range reports {
+		for j := range reports[i].Recommendations {
+			rec := &reports[i].Recommendations[j]
+			n += rankedOverhead + int64(len(rec.Text))
+			for alias, t := range rec.Occurrence.Bindings {
+				n += bindingOverhead + int64(len(alias)+len(t.Value)+len(t.Datatype))
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package kb
+
+import "testing"
+
+// CacheKey identifies the exact entry list: it changes on every mutation,
+// snapshots share the key of their source state, and two independently
+// built KBs never collide even at the same version.
+func TestCacheKeyAndGeneration(t *testing.T) {
+	a, b := MustCanonical(), MustCanonical()
+	if a.CacheKey() == b.CacheKey() {
+		t.Fatalf("independent KBs share cache key %q", a.CacheKey())
+	}
+
+	key0 := a.CacheKey()
+	gen0 := a.Generation()
+	snap := a.Snapshot()
+	if snap.CacheKey() != key0 {
+		t.Fatalf("snapshot key %q != source key %q", snap.CacheKey(), key0)
+	}
+
+	extra := MustExtended().Entries()
+	e := extra[len(extra)-1]
+	if _, err := a.Add(e.Pattern, e.Recommendations...); err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheKey() == key0 || a.Generation() != gen0+1 {
+		t.Fatalf("Add left key=%q gen=%d (was %q/%d)", a.CacheKey(), a.Generation(), key0, gen0)
+	}
+	if snap.CacheKey() != key0 {
+		t.Fatal("mutation leaked into the snapshot's cache key")
+	}
+
+	keyAdd := a.CacheKey()
+	if !a.Remove(e.Name) {
+		t.Fatal("Remove failed")
+	}
+	if a.CacheKey() == keyAdd || a.CacheKey() == key0 {
+		t.Fatalf("Remove must produce a fresh key, got %q", a.CacheKey())
+	}
+
+	if a.Remove("no-such-entry") {
+		t.Fatal("Remove of missing entry succeeded")
+	}
+	keyAfter := a.CacheKey()
+	if a.Remove("no-such-entry"); a.CacheKey() != keyAfter {
+		t.Fatal("failed Remove moved the cache key")
+	}
+}

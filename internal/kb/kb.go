@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"optimatch/internal/pattern"
 )
@@ -49,13 +50,40 @@ func (e *Entry) Aliases() map[string]bool {
 	return out
 }
 
+// kbIDs hands every knowledge base a process-unique instance ID, so two
+// independently built KBs never share a cache identity even when both sit
+// at the same version.
+var kbIDs atomic.Uint64
+
 // KnowledgeBase is an ordered collection of entries.
 type KnowledgeBase struct {
+	// id and version together identify the exact entry list for caching:
+	// id is unique per lineage (snapshots inherit it), version is bumped by
+	// every Add/Remove. Entries themselves are immutable after Add, so an
+	// unchanged (id, version) pair means unchanged content.
+	id      uint64
+	version uint64
+
 	entries []*Entry
 }
 
 // New returns an empty knowledge base.
-func New() *KnowledgeBase { return &KnowledgeBase{} }
+func New() *KnowledgeBase { return &KnowledgeBase{id: kbIDs.Add(1)} }
+
+// Generation returns the knowledge base's mutation counter: 0 when fresh,
+// bumped once per successful Add or Remove. Like the engine's plan
+// generation, it exists for generation-keyed caching. Callers must hold
+// whatever lock guards the knowledge base's mutations (snapshots need
+// none — their entry list is fixed).
+func (kb *KnowledgeBase) Generation() uint64 { return kb.version }
+
+// CacheKey returns a token identifying this knowledge base's exact entry
+// list, suitable as a cache-key component: two knowledge bases with equal
+// keys hold identical entries. Snapshots share the key of the state they
+// were taken from.
+func (kb *KnowledgeBase) CacheKey() string {
+	return fmt.Sprintf("kb%d.%d", kb.id, kb.version)
+}
 
 // Len reports the number of entries.
 func (kb *KnowledgeBase) Len() int { return len(kb.entries) }
@@ -111,6 +139,7 @@ func (kb *KnowledgeBase) Add(p *pattern.Pattern, recs ...Recommendation) (*Entry
 		}
 	}
 	kb.entries = append(kb.entries, e)
+	kb.version++
 	return e, nil
 }
 
@@ -121,6 +150,7 @@ func (kb *KnowledgeBase) Remove(name string) bool {
 	for i, e := range kb.entries {
 		if e.Name == name {
 			kb.entries = append(kb.entries[:i:i], kb.entries[i+1:]...)
+			kb.version++
 			return true
 		}
 	}
@@ -132,7 +162,11 @@ func (kb *KnowledgeBase) Remove(name string) bool {
 // themselves are immutable after Add, so the snapshot is safe to scan while
 // the original keeps mutating.
 func (kb *KnowledgeBase) Snapshot() *KnowledgeBase {
-	return &KnowledgeBase{entries: append([]*Entry(nil), kb.entries...)}
+	return &KnowledgeBase{
+		id:      kb.id,
+		version: kb.version,
+		entries: append([]*Entry(nil), kb.entries...),
+	}
 }
 
 // SetProfile overrides the entry's expert ranking profile.

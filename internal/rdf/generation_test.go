@@ -1,0 +1,29 @@
+package rdf
+
+import "testing"
+
+// The data generation must advance exactly once per real insertion —
+// duplicates leave the triple set, and therefore the generation, unchanged.
+func TestGraphGeneration(t *testing.T) {
+	g := NewGraph()
+	if g.Generation() != 0 {
+		t.Fatalf("fresh graph generation = %d", g.Generation())
+	}
+	s, p, o := IRI("s"), IRI("p"), IRI("o")
+	if !g.Add(s, p, o) {
+		t.Fatal("Add reported duplicate on empty graph")
+	}
+	if g.Generation() != 1 {
+		t.Fatalf("generation after insert = %d, want 1", g.Generation())
+	}
+	if g.Add(s, p, o) {
+		t.Fatal("duplicate insert reported as new")
+	}
+	if g.Generation() != 1 {
+		t.Fatalf("duplicate insert moved the generation to %d", g.Generation())
+	}
+	g.Add(s, p, IRI("o2"))
+	if g.Generation() != 2 {
+		t.Fatalf("generation after second insert = %d, want 2", g.Generation())
+	}
+}

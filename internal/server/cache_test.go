@@ -1,0 +1,285 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"optimatch/internal/cache"
+	"optimatch/internal/core"
+	"optimatch/internal/fixtures"
+	"optimatch/internal/obs"
+	"optimatch/internal/pattern"
+)
+
+const sortQuery = `PREFIX preduri: <http://optimatch/pred/>
+SELECT ?s WHERE { ?s preduri:hasPopType "SORT" }`
+
+// cachedTestServer builds a server whose engine and response layer share
+// one result cache, mirroring the optimatchd wiring.
+func cachedTestServer(t *testing.T, opts ...Option) (*Server, *httptest.Server, *cache.Cache) {
+	t.Helper()
+	c := cache.New(cache.Config{MaxBytes: 16 << 20})
+	eng := core.New(core.WithResultCache(c))
+	if err := eng.LoadPlans(fixtures.All()); err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, nil, append([]Option{WithResultCache(c)}, opts...)...)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, c
+}
+
+// cacheReq issues one request and returns the response (body fully read
+// into a string, connection closed).
+func cacheReq(t *testing.T, method, url, body string, hdr map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+func TestXCacheMissThenHit(t *testing.T) {
+	_, ts, _ := cachedTestServer(t)
+
+	resp, first := cacheReq(t, "POST", ts.URL+"/api/sparql", sortQuery, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
+	}
+	resp, second := cacheReq(t, "POST", ts.URL+"/api/sparql", sortQuery, nil)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second X-Cache = %q, want hit", got)
+	}
+	if first != second {
+		t.Fatalf("cached body differs:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestXCacheBypassHeader(t *testing.T) {
+	_, ts, c := cachedTestServer(t)
+
+	noCache := map[string]string{"Cache-Control": "no-cache"}
+	resp, first := cacheReq(t, "POST", ts.URL+"/api/sparql", sortQuery, noCache)
+	if got := resp.Header.Get("X-Cache"); got != "bypass" {
+		t.Fatalf("X-Cache = %q, want bypass", got)
+	}
+	if st := c.Stats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("bypassed request touched the cache: %+v", st)
+	}
+	// The bypass is per-request: the next plain request misses, executes
+	// and returns the same bytes.
+	resp, second := cacheReq(t, "POST", ts.URL+"/api/sparql", sortQuery, nil)
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q, want miss", got)
+	}
+	if first != second {
+		t.Fatal("bypassed and cached bodies differ")
+	}
+}
+
+// A server without WithResultCache still answers, reporting bypass.
+func TestXCacheDisabled(t *testing.T) {
+	_, ts := testServer(t)
+	resp, _ := cacheReq(t, "POST", ts.URL+"/api/sparql", sortQuery, nil)
+	if got := resp.Header.Get("X-Cache"); got != "bypass" {
+		t.Fatalf("X-Cache = %q, want bypass with no cache configured", got)
+	}
+}
+
+func TestSearchCached(t *testing.T) {
+	_, ts, _ := cachedTestServer(t)
+	data, err := pattern.A().ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+
+	resp, first := cacheReq(t, "POST", ts.URL+"/api/search", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, first)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
+	}
+	resp, second := cacheReq(t, "POST", ts.URL+"/api/search", body, nil)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second X-Cache = %q, want hit", got)
+	}
+	if first != second {
+		t.Fatal("cached search body differs")
+	}
+}
+
+func TestKBRunCachedAndInvalidatedByPlanMutation(t *testing.T) {
+	s, ts, _ := cachedTestServer(t)
+
+	resp, first := cacheReq(t, "POST", ts.URL+"/api/kb/run", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
+	}
+	resp, second := cacheReq(t, "POST", ts.URL+"/api/kb/run", "", nil)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second X-Cache = %q, want hit", got)
+	}
+	if first != second {
+		t.Fatal("cached kb/run body differs")
+	}
+
+	// A plan mutation bumps the generation: the old entry is orphaned and
+	// the next run misses.
+	if err := s.eng.LoadPlan(fixtures.Renamed(fixtures.Clean(), "CACHE-X")); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = cacheReq(t, "POST", ts.URL+"/api/kb/run", "", nil)
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("post-mutation X-Cache = %q, want miss", got)
+	}
+}
+
+func TestPlanRDFETag(t *testing.T) {
+	s, ts, _ := cachedTestServer(t)
+
+	resp, body := cacheReq(t, "GET", ts.URL+"/api/plans/Q2/rdf", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"qep-`) {
+		t.Fatalf("ETag = %q", etag)
+	}
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("X-Cache = %q, want miss", resp.Header.Get("X-Cache"))
+	}
+	if !strings.Contains(body, "http://optimatch/") {
+		t.Fatalf("N-Triples body looks wrong: %.100s", body)
+	}
+
+	// Revalidation: matching If-None-Match answers 304 with no body.
+	resp, body = cacheReq(t, "GET", ts.URL+"/api/plans/Q2/rdf", "", map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("status = %d, want 304", resp.StatusCode)
+	}
+	if body != "" {
+		t.Fatalf("304 carried a body: %q", body)
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Fatalf("304 ETag = %q, want %q", resp.Header.Get("ETag"), etag)
+	}
+	// Wildcard and list forms match too; weak comparison accepted.
+	for _, h := range []string{"*", `"other", ` + etag, "W/" + etag} {
+		resp, _ = cacheReq(t, "GET", ts.URL+"/api/plans/Q2/rdf", "", map[string]string{"If-None-Match": h})
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: status = %d, want 304", h, resp.StatusCode)
+		}
+	}
+
+	// A generation bump changes the validator: the old tag revalidates as
+	// a full 200 with a new ETag, served from a fresh cache entry.
+	if err := s.eng.LoadPlan(fixtures.Renamed(fixtures.Clean(), "ETAG-X")); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = cacheReq(t, "GET", ts.URL+"/api/plans/Q2/rdf", "", map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-mutation status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got == etag || got == "" {
+		t.Fatalf("post-mutation ETag = %q, want a new tag", got)
+	}
+
+	// Second GET at the new generation is a cache hit with identical bytes.
+	resp2, bodyA := cacheReq(t, "GET", ts.URL+"/api/plans/Q2/rdf", "", nil)
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	respB, bodyB := cacheReq(t, "GET", ts.URL+"/api/plans/Q2/rdf", "", map[string]string{"Cache-Control": "no-store"})
+	if respB.Header.Get("X-Cache") != "bypass" {
+		t.Fatalf("X-Cache = %q, want bypass", respB.Header.Get("X-Cache"))
+	}
+	if bodyA != bodyB {
+		t.Fatal("cached and bypassed RDF bodies differ")
+	}
+}
+
+func TestStatsCacheGroup(t *testing.T) {
+	_, ts, _ := cachedTestServer(t)
+	// Warm one entry so the counters are nonzero.
+	cacheReq(t, "POST", ts.URL+"/api/sparql", sortQuery, nil)
+	cacheReq(t, "POST", ts.URL+"/api/sparql", sortQuery, nil)
+
+	var stats struct {
+		Cache *cache.Stats `json:"cache"`
+		Query struct {
+			Capacity int `json:"capacity"`
+		} `json:"queryCache"`
+	}
+	getJSON(t, ts.URL+"/api/stats", http.StatusOK, &stats)
+	if stats.Cache == nil {
+		t.Fatal("stats missing cache group")
+	}
+	if stats.Cache.Hits < 1 || stats.Cache.Misses < 1 || stats.Cache.Entries < 1 {
+		t.Fatalf("cache stats = %+v", stats.Cache)
+	}
+	if stats.Cache.HitRatio <= 0 || stats.Cache.HitRatio > 1 {
+		t.Fatalf("hit ratio = %v", stats.Cache.HitRatio)
+	}
+	if stats.Query.Capacity <= 0 {
+		t.Fatalf("query cache capacity = %d", stats.Query.Capacity)
+	}
+
+	// A cache-less server omits the group.
+	_, plain := testServer(t)
+	var bare struct {
+		Cache *cache.Stats `json:"cache"`
+	}
+	getJSON(t, plain.URL+"/api/stats", http.StatusOK, &bare)
+	if bare.Cache != nil {
+		t.Fatalf("cache group present without a cache: %+v", bare.Cache)
+	}
+}
+
+func TestCacheMetricsExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts, _ := cachedTestServer(t, WithMetrics(reg))
+	cacheReq(t, "POST", ts.URL+"/api/sparql", sortQuery, nil)
+	cacheReq(t, "POST", ts.URL+"/api/sparql", sortQuery, nil)
+
+	_, metrics := cacheReq(t, "GET", ts.URL+"/metrics", "", nil)
+	for _, want := range []string{
+		`optimatch_cache_requests_total{result="hit"}`,
+		`optimatch_cache_requests_total{result="miss"}`,
+		`optimatch_cache_requests_total{result="collapsed"}`,
+		"optimatch_cache_bytes",
+		"optimatch_cache_entries",
+		"optimatch_cache_hit_ratio",
+		"optimatch_cache_evictions_total",
+		"optimatch_cache_rejected_total",
+		"optimatch_core_query_cache_entries",
+		"optimatch_core_query_cache_bytes",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"time"
 
+	"optimatch/internal/cache"
 	"optimatch/internal/core"
 	"optimatch/internal/obs"
 	"optimatch/internal/store"
@@ -104,6 +105,10 @@ func (s *Server) registerStateMetrics() {
 	const cacheHelp = "Parse-once query cache lookups by result."
 	reg.CounterFunc(cacheName, cacheHelp, func() float64 { return float64(s.eng.CacheStats().Hits) }, "result", "hit")
 	reg.CounterFunc(cacheName, cacheHelp, func() float64 { return float64(s.eng.CacheStats().Misses) }, "result", "miss")
+	reg.GaugeFunc("optimatch_core_query_cache_entries", "Parsed queries currently held by the parse-once cache.",
+		func() float64 { return float64(s.eng.CacheStats().Size) })
+	reg.GaugeFunc("optimatch_core_query_cache_bytes", "Query-text bytes held by the parse-once cache.",
+		func() float64 { return float64(s.eng.CacheStats().Bytes) })
 
 	const pfName = "optimatch_core_prefilter_pairs_total"
 	const pfHelp = "(plan, query) pairs probed by the vocabulary prefilter, by outcome."
@@ -130,6 +135,29 @@ func (s *Server) registerStateMetrics() {
 	reg.CounterFunc("optimatch_exec_shed_total",
 		"Requests turned away by the admission gate (503s).",
 		func() float64 { return float64(s.exec.shed.Load()) })
+
+	if s.cache != nil {
+		cst := func(f func(cache.Stats) float64) func() float64 {
+			return func() float64 { return f(s.cache.Stats()) }
+		}
+		const reqName = "optimatch_cache_requests_total"
+		const reqHelp = "Result-cache lookups by outcome (hit: served from cache, miss: executed and possibly stored, collapsed: joined an in-flight execution)."
+		reg.CounterFunc(reqName, reqHelp, cst(func(st cache.Stats) float64 { return float64(st.Hits) }), "result", "hit")
+		reg.CounterFunc(reqName, reqHelp, cst(func(st cache.Stats) float64 { return float64(st.Misses) }), "result", "miss")
+		reg.CounterFunc(reqName, reqHelp, cst(func(st cache.Stats) float64 { return float64(st.Collapsed) }), "result", "collapsed")
+		reg.CounterFunc("optimatch_cache_evictions_total", "Result-cache entries evicted under the byte budget.",
+			cst(func(st cache.Stats) float64 { return float64(st.Evictions) }))
+		reg.CounterFunc("optimatch_cache_expired_total", "Result-cache entries dropped at lookup past their TTL.",
+			cst(func(st cache.Stats) float64 { return float64(st.Expired) }))
+		reg.CounterFunc("optimatch_cache_rejected_total", "Results not admitted to the cache (cost floor, oversized).",
+			cst(func(st cache.Stats) float64 { return float64(st.Rejected) }))
+		reg.GaugeFunc("optimatch_cache_bytes", "Bytes currently held by result-cache entries.",
+			cst(func(st cache.Stats) float64 { return float64(st.Bytes) }))
+		reg.GaugeFunc("optimatch_cache_entries", "Entries currently in the result cache.",
+			cst(func(st cache.Stats) float64 { return float64(st.Entries) }))
+		reg.GaugeFunc("optimatch_cache_hit_ratio", "Hits over all completed result-cache lookups since start.",
+			cst(func(st cache.Stats) float64 { return st.HitRatio }))
+	}
 
 	const pathName = "optimatch_sparql_path_total"
 	const pathHelp = "Property-path closure acceleration events by kind (CSR snapshot builds/cache hits, per-evaluation memo hits/misses)."

@@ -24,6 +24,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -35,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"optimatch/internal/cache"
 	"optimatch/internal/core"
 	"optimatch/internal/kb"
 	"optimatch/internal/obs"
@@ -62,6 +64,7 @@ type Server struct {
 	adm          *admission      // nil: no admission gate
 	baseCtx      context.Context // nil: shutdown indistinguishable from disconnect
 	exec         execCounters
+	cache        *cache.Cache // nil: responses render per request (see cache.go)
 
 	// mu guards kb access: mutation handlers hold the write lock (also
 	// around write-through store calls), read handlers the read lock.
@@ -315,15 +318,33 @@ func (s *Server) handleRenderPlan(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePlanRDF(w http.ResponseWriter, r *http.Request) {
 	// Serve the engine's own transformed graph: no O(plan) re-transform per
 	// GET, and the bytes are exactly the graph matches run against (a fresh
-	// Transform could differ in blank-node labels).
+	// Transform could differ in blank-node labels). The generation is read
+	// before the plan lookup so the ETag never claims a newer state than
+	// the graph about to be serialized.
 	id := r.PathValue("id")
+	gen := s.eng.Generation()
 	res := s.eng.Result(id)
 	if res == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("plan %q not loaded", id))
 		return
 	}
-	w.Header().Set("Content-Type", "application/n-triples")
-	_ = rdf.WriteNTriples(w, res.Graph)
+	etag := planETag(id, gen)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	ctx := cacheContext(r.Context(), r)
+	key := cache.Key("http.rdf", genToken(gen), id)
+	s.serveCached(w, r, ctx, key, gen, "application/n-triples", http.StatusInternalServerError,
+		func(context.Context) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := rdf.WriteNTriples(&buf, res.Graph); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		})
 }
 
 // matchBody is the wire form of one match.
@@ -355,19 +376,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	ctx, cancel := s.execContext(r)
-	defer cancel()
-	matches, err := s.eng.FindPatternContext(ctx, p)
+	// Compile here (FindPatternContext would otherwise do it) so the cache
+	// key names the canonical compiled query, not the JSON spelling: two
+	// bodies that compile identically share one entry.
+	c, err := pattern.Compile(p)
 	if err != nil {
-		if !s.execError(w, r, err) {
-			writeError(w, http.StatusUnprocessableEntity, err)
-		}
+		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"pattern": p.Name,
-		"matches": matchesToWire(matches),
-	})
+	ctx, cancel := s.execContext(r)
+	defer cancel()
+	ctx = cacheContext(ctx, r)
+	gen := s.eng.Generation()
+	key := cache.Key("http.search", genToken(gen), p.Name, c.Query)
+	s.serveCached(w, r, ctx, key, gen, "application/json", http.StatusUnprocessableEntity,
+		func(fctx context.Context) ([]byte, error) {
+			matches, err := s.eng.FindCompiledContext(fctx, c)
+			if err != nil {
+				return nil, err
+			}
+			return encodeJSON(map[string]interface{}{
+				"pattern": p.Name,
+				"matches": matchesToWire(matches),
+			})
+		})
 }
 
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
@@ -382,14 +414,17 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.execContext(r)
 	defer cancel()
-	matches, err := s.eng.FindSPARQLContext(ctx, query)
-	if err != nil {
-		if !s.execError(w, r, err) {
-			writeError(w, http.StatusUnprocessableEntity, err)
-		}
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"matches": matchesToWire(matches)})
+	ctx = cacheContext(ctx, r)
+	gen := s.eng.Generation()
+	key := cache.Key("http.sparql", genToken(gen), query)
+	s.serveCached(w, r, ctx, key, gen, "application/json", http.StatusUnprocessableEntity,
+		func(fctx context.Context) ([]byte, error) {
+			matches, err := s.eng.FindSPARQLContext(fctx, query)
+			if err != nil {
+				return nil, err
+			}
+			return encodeJSON(map[string]interface{}{"matches": matchesToWire(matches)})
+		})
 }
 
 // entryInfo is the list representation of a knowledge-base entry.
@@ -497,28 +532,33 @@ func (s *Server) handleRunKB(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	ctx, cancel := s.execContext(r)
 	defer cancel()
-	reports, err := s.eng.RunKBContext(ctx, base)
-	if err != nil {
-		if !s.execError(w, r, err) {
-			writeError(w, http.StatusInternalServerError, err)
-		}
-		return
-	}
-	out := make([]reportBody, 0, len(reports))
-	for i := range reports {
-		rb := reportBody{Plan: reports[i].Plan.ID, Message: reports[i].Message()}
-		for _, rec := range reports[i].Recommendations {
-			rb.Recommendations = append(rb.Recommendations, recBody{
-				Entry:      rec.Entry.Name,
-				Title:      rec.Recommendation.Title,
-				Category:   rec.Recommendation.Category,
-				Confidence: rec.Confidence,
-				Text:       rec.Text,
-			})
-		}
-		out = append(out, rb)
-	}
-	writeJSON(w, http.StatusOK, out)
+	ctx = cacheContext(ctx, r)
+	gen := s.eng.Generation()
+	// The snapshot's cache key pins the exact entry list, so a concurrent
+	// KB mutation changes the key rather than racing the scan.
+	key := cache.Key("http.kbrun", genToken(gen), base.CacheKey())
+	s.serveCached(w, r, ctx, key, gen, "application/json", http.StatusInternalServerError,
+		func(fctx context.Context) ([]byte, error) {
+			reports, err := s.eng.RunKBContext(fctx, base)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]reportBody, 0, len(reports))
+			for i := range reports {
+				rb := reportBody{Plan: reports[i].Plan.ID, Message: reports[i].Message()}
+				for _, rec := range reports[i].Recommendations {
+					rb.Recommendations = append(rb.Recommendations, recBody{
+						Entry:      rec.Entry.Name,
+						Title:      rec.Recommendation.Title,
+						Category:   rec.Recommendation.Category,
+						Confidence: rec.Confidence,
+						Text:       rec.Text,
+					})
+				}
+				out = append(out, rb)
+			}
+			return encodeJSON(out)
+		})
 }
 
 // statsBody is the GET /api/stats response. New counter groups are only
@@ -531,6 +571,7 @@ type statsBody struct {
 	QueryCache core.CacheStats     `json:"queryCache"`
 	Eval       sparql.EvalSnapshot `json:"eval"`
 	Exec       ExecStats           `json:"exec"`
+	Cache      *cache.Stats        `json:"cache,omitempty"` // nil without -cache-bytes
 	Store      *store.Stats        `json:"store,omitempty"` // nil without -data
 }
 
@@ -545,6 +586,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		QueryCache: s.eng.CacheStats(),
 		Eval:       s.eng.EvalStats(),
 		Exec:       s.exec.snapshot(),
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		body.Cache = &cs
 	}
 	if s.st != nil {
 		st := s.st.Stats()

@@ -40,6 +40,14 @@ type ExecOptions struct {
 	// ablation benchmarks; results are identical either way.
 	DisablePathIndex bool
 
+	// DisableResultCache turns off the engine-level result cache
+	// (core.WithResultCache): every FindSPARQL/RunKB call re-executes the
+	// full prefilter + specialize + match pipeline even when a cache is
+	// configured. The switch lives here so one ExecOptions struct carries
+	// every ablation the benchmarks flip; the SPARQL evaluator itself
+	// ignores it. Results are identical either way.
+	DisableResultCache bool
+
 	// Stats, when non-nil, tallies which evaluator ran for each execution.
 	// The same EvalStats may be shared by concurrent evaluations (the
 	// counters are atomic); nil costs nothing on the hot path.
