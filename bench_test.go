@@ -23,6 +23,7 @@ import (
 	"optimatch/internal/rdf"
 	"optimatch/internal/server"
 	"optimatch/internal/sparql"
+	"optimatch/internal/store"
 	"optimatch/internal/textsearch"
 	"optimatch/internal/transform"
 	"optimatch/internal/workload"
@@ -517,6 +518,100 @@ ORDER BY ?pop1
 			}
 		}
 	})
+}
+
+// BenchmarkShardedKBScan measures the Figure 8 workload scan across the plan
+// repository's shard grid. Setup verifies once that every shard count yields
+// byte-identical reports (the sharding determinism invariant, DESIGN.md §14);
+// the benchmark then times each configuration. Shards cut lock contention on
+// the snapshot path, not scan work, so the per-op spread should be small —
+// the win shows up when scans race with ingest (TestBatchHammerRace's shape).
+func BenchmarkShardedKBScan(b *testing.B) {
+	rs, _ := benchResults(b, fig9Config(1000))
+	k := kb.MustExtended()
+	var baseline string
+	for _, shards := range []int{1, 4, 8} {
+		e := core.New(core.WithShards(shards))
+		for _, r := range rs {
+			if err := e.LoadResult(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reports, err := e.RunKB(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rendered := renderReports(reports); baseline == "" {
+			baseline = rendered
+		} else if rendered != baseline {
+			b.Fatalf("%d-shard KB reports differ from single-shard", shards)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.RunKB(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchIngest compares durable ingest one plan at a time (a WAL
+// record and fsync per plan) against POST /api/plans:batch's store path (one
+// record and one fsync per 256-plan batch). The fsyncs/plan metric is the
+// acceptance criterion: batch=256 must sit at least 5× below batch=1.
+func BenchmarkBatchIngest(b *testing.B) {
+	w, err := workload.Generate(workload.Config{Seed: 7, NumPlans: 256, MinOps: 12, MaxOps: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	byID := w.Texts()
+	texts := make([]string, 0, len(byID))
+	for _, p := range w.Plans {
+		texts = append(texts, byID[p.ID])
+	}
+	run := func(b *testing.B, batch int) {
+		b.ReportAllocs()
+		var fsyncs, plans int64
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if batch == 1 {
+				for _, text := range texts {
+					if _, err := st.AddPlan(text); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				for off := 0; off < len(texts); off += batch {
+					end := off + batch
+					if end > len(texts) {
+						end = len(texts)
+					}
+					outcomes, err := st.AddPlanBatch(texts[off:end])
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, o := range outcomes {
+						if o.Err != nil {
+							b.Fatal(o.Err)
+						}
+					}
+				}
+			}
+			fsyncs += st.Stats().Fsyncs
+			plans += int64(len(texts))
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(fsyncs)/float64(plans), "fsyncs/plan")
+	}
+	b.Run("batch=1", func(b *testing.B) { run(b, 1) })
+	b.Run("batch=256", func(b *testing.B) { run(b, 256) })
 }
 
 // BenchmarkTransform measures Algorithm 1 (QEP -> RDF) on its own: it is

@@ -1,0 +1,152 @@
+//go:build e2e
+
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"optimatch/internal/workload"
+)
+
+// TestCrashRecoveryBatchE2E is the batched-ingest counterpart of
+// TestCrashRecoveryE2E: it streams NDJSON batches at POST /api/plans:batch,
+// SIGKILLs the daemon while appends are in flight, restarts it over the same
+// directory, and checks two invariants of the batch WAL record:
+//
+//  1. every acknowledged batch survives in full (the 201/207 answer is sent
+//     only after the single fsync), and
+//  2. no batch survives partially — a torn batch record at the WAL tail is
+//     truncated wholesale, so each batch's plans are all-or-nothing.
+func TestCrashRecoveryBatchE2E(t *testing.T) {
+	bin := buildDaemon(t)
+	data := filepath.Join(t.TempDir(), "data")
+	addr := freeAddr(t)
+
+	wl, err := workload.Generate(workload.Config{Seed: 11, NumPlans: 48, MinOps: 12, MaxOps: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := wl.Texts()
+	ids := make([]string, 0, len(texts))
+	for id := range texts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Group the workload into batches of 6 plans each.
+	const batchSize = 6
+	var batches [][]string
+	for i := 0; i < len(ids); i += batchSize {
+		batches = append(batches, ids[i:i+batchSize])
+	}
+	ndjsonBody := func(batch []string) []byte {
+		var b bytes.Buffer
+		for _, id := range batch {
+			line, err := json.Marshal(texts[id])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(line)
+			b.WriteByte('\n')
+		}
+		return b.Bytes()
+	}
+
+	cmd, logs := startDaemon(t, bin, addr, data)
+
+	// Stream batches from a goroutine; record which ones were acknowledged.
+	var (
+		mu    sync.Mutex
+		acked int
+	)
+	uploadsDone := make(chan struct{})
+	go func() {
+		defer close(uploadsDone)
+		for _, batch := range batches {
+			resp, err := http.Post("http://"+addr+"/api/plans:batch",
+				"application/x-ndjson", bytes.NewReader(ndjsonBody(batch)))
+			if err != nil {
+				return // the daemon died under us — expected
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				return
+			}
+			mu.Lock()
+			acked++
+			mu.Unlock()
+		}
+	}()
+	for {
+		mu.Lock()
+		n := acked
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL mid-append
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	<-uploadsDone
+	mu.Lock()
+	ackedBatches := acked
+	mu.Unlock()
+	t.Logf("killed daemon with %d acknowledged batches", ackedBatches)
+
+	// Restart: the WAL may end in a torn batch record, which recovery must
+	// drop at the frame boundary without refusing the log.
+	cmd2, logs2 := startDaemon(t, bin, addr, data)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	got := listPlanIDs(t, addr)
+	have := make(map[string]bool, len(got))
+	for _, id := range got {
+		have[id] = true
+	}
+
+	// Invariant 2: all-or-nothing per batch — no partial batch survives.
+	for i, batch := range batches {
+		present := 0
+		for _, id := range batch {
+			if have[id] {
+				present++
+			}
+		}
+		if present != 0 && present != len(batch) {
+			t.Errorf("batch %d recovered partially: %d of %d plans\nfirst run logs:\n%s\nsecond run logs:\n%s",
+				i, present, len(batch), logs.String(), logs2.String())
+		}
+		// Invariant 1: acknowledged batches survive in full.
+		if i < ackedBatches && present != len(batch) {
+			t.Errorf("acknowledged batch %d lost after crash: %d of %d plans recovered",
+				i, present, len(batch))
+		}
+	}
+	if extra := diff(got, ids); len(extra) > 0 {
+		t.Errorf("recovered plans never uploaded: %v", extra)
+	}
+
+	// Every recovered plan must render, i.e. no half-written text survived.
+	for _, id := range got {
+		resp, err := http.Get("http://" + addr + "/api/plans/" + id + "/render")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("recovered plan %s: status %d", id, resp.StatusCode)
+		}
+	}
+}

@@ -16,6 +16,14 @@
 //
 //	optimatchd -addr :8080 -data ./optimatch-data
 //
+// The plan repository is sharded (-shards; 0 = auto) so concurrent ingest
+// and scans on different shards never contend; results are byte-identical
+// at any shard count. Workload-scale ingest goes through POST
+// /api/plans:batch (NDJSON, one plan per line, bounded by
+// -batch-max-records/-batch-max-bytes): the whole batch is one WAL record,
+// one fsync and one result-cache invalidation, with a per-record outcome
+// report.
+//
 // The daemon is observable in production: every request gets a structured
 // access-log line (-log-format json for machine ingestion, -slow-ms for a
 // WARN on slow requests), GET /metrics exposes per-stage counters and
@@ -79,6 +87,9 @@ func run() error {
 		extended     = flag.Bool("extended", false, "use the extended built-in knowledge base (patterns E-G)")
 		workers      = flag.Int("workers", 0, "matcher worker-pool size (default: GOMAXPROCS)")
 		prefilter    = flag.Bool("prefilter", true, "vocabulary prefilter + per-graph query specialization")
+		shards       = flag.Int("shards", 0, "plan-store shard count; scans stay byte-identical at any value (0: auto = GOMAXPROCS capped at 16)")
+		batchMaxRecs = flag.Int("batch-max-records", 1024, "max NDJSON records accepted by one POST /api/plans:batch")
+		batchMaxB    = flag.Int64("batch-max-bytes", 8<<20, "max request-body bytes for one POST /api/plans:batch")
 		data         = flag.String("data", "", "durable store directory (empty: in-memory only, state lost on exit)")
 		compactEvery = flag.Int64("compact-every", 1024, "auto-compact the store once its WAL holds this many records (0: manual only)")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "deadline for one engine execution (search/sparql/kb-run); clients may shorten it per request with X-Timeout-Ms (0: no deadline)")
@@ -108,6 +119,7 @@ func run() error {
 	engOpts := []core.Option{
 		core.WithWorkers(*workers),
 		core.WithPrefilter(*prefilter),
+		core.WithShards(*shards),
 		core.WithInstrumentation(server.EngineInstrumentation(reg)),
 	}
 
@@ -143,6 +155,7 @@ func run() error {
 		server.WithQueryTimeout(*queryTimeout),
 		server.WithAdmission(*maxInflight, *queueWait),
 		server.WithBaseContext(execCtx),
+		server.WithBatchLimits(*batchMaxRecs, *batchMaxB),
 	}
 	if resCache != nil {
 		serverOpts = append(serverOpts, server.WithResultCache(resCache))

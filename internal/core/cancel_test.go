@@ -128,9 +128,7 @@ func TestContextVariantsMatchPlain(t *testing.T) {
 // asserts the fan-out stops dispatching instead of visiting every plan.
 func TestForEachPlanCancelStopsDispatch(t *testing.T) {
 	e := workloadEngine(t, 2)
-	e.mu.RLock()
-	plans := append([]*transform.Result(nil), e.plans...)
-	e.mu.RUnlock()
+	plans := e.snapshot(nil).plans
 	if len(plans) < 20 {
 		t.Fatalf("want a workload of plans, got %d", len(plans))
 	}

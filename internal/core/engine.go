@@ -76,6 +76,30 @@ func WithPathIndex(enabled bool) Option {
 	return func(e *Engine) { e.pathIndex = enabled }
 }
 
+// WithShards sets how many independent shards the plan repository is split
+// into (fnv64a of the plan ID routes each plan to one). Each shard carries
+// its own lock, union prefilter vocabulary and generation counter, so
+// ingest on distinct shards never contends and scans can discard whole
+// shards with one vocabulary probe. Results are byte-identical for every
+// shard count: scans merge shard snapshots back into global load order.
+// n <= 0 asks for the automatic count (GOMAXPROCS capped at 16); the
+// default without this option is 1 (the seed's single-table layout).
+func WithShards(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+			if n > maxAutoShards {
+				n = maxAutoShards
+			}
+		}
+		e.numShards = n
+	}
+}
+
+// maxAutoShards caps WithShards' automatic shard count: past this, per-shard
+// bookkeeping outweighs the contention a shard split saves.
+const maxAutoShards = 16
+
 // WithResultCache installs a result cache on the engine: FindSPARQL,
 // FindPattern and RunKB results are cached keyed by (query or KB identity,
 // engine data generation) and concurrent identical scans collapse onto one
@@ -98,23 +122,26 @@ var engineIDs atomic.Uint64
 // Engine holds a workload of transformed plans and matches patterns against
 // it.
 type Engine struct {
-	mu       sync.RWMutex
-	plans    []*transform.Result
-	byID     map[string]*transform.Result
-	workers  int
-	execOpts sparql.ExecOptions
+	shards    []*planShard
+	numShards int           // set by WithShards before the shards are built
+	nextSeq   atomic.Uint64 // global load sequence: the cross-shard merge key
+	workers   int
+	execOpts  sparql.ExecOptions
 
 	// id and generation identify the engine's exact plan set for the
-	// result cache: generation is bumped (under mu) by every load and
-	// removal, mirroring rdf.Graph's per-graph counter at workload scope.
+	// result cache: generation is bumped — while the mutated shard's lock
+	// (or, for batches, every shard lock) is still held — by every load
+	// and removal, mirroring rdf.Graph's per-graph counter at workload
+	// scope. A batch load bumps it once, not per plan.
 	id         uint64
 	generation atomic.Uint64
 	resCache   *cache.Cache
 
-	prefilter bool
-	pathIndex bool
-	pfProbed  atomic.Int64
-	pfSkipped atomic.Int64
+	prefilter  bool
+	pathIndex  bool
+	pfProbed   atomic.Int64
+	pfSkipped  atomic.Int64
+	shardSkips atomic.Int64 // (shard, query) pairs discarded by the union-vocabulary probe
 
 	queries     queryCache
 	cacheHits   atomic.Int64
@@ -126,7 +153,7 @@ type Engine struct {
 // New returns an empty engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		byID:      make(map[string]*transform.Result),
+		numShards: 1,
 		workers:   runtime.GOMAXPROCS(0),
 		prefilter: true,
 		pathIndex: true,
@@ -134,6 +161,10 @@ func New(opts ...Option) *Engine {
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	e.shards = make([]*planShard, e.numShards)
+	for i := range e.shards {
+		e.shards[i] = newShard()
 	}
 	return e
 }
@@ -164,16 +195,7 @@ func (e *Engine) LoadPlan(p *qep.Plan) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	r := transform.Transform(p)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, dup := e.byID[p.ID]; dup {
-		return fmt.Errorf("core: plan %q %w", p.ID, ErrDuplicatePlan)
-	}
-	e.plans = append(e.plans, r)
-	e.byID[p.ID] = r
-	e.generation.Add(1)
-	return nil
+	return e.loadOne(transform.Transform(p))
 }
 
 // LoadResult registers an already-transformed plan, sharing its RDF graph
@@ -181,18 +203,26 @@ func (e *Engine) LoadPlan(p *qep.Plan) error {
 // (the scalability experiments build ten cumulative buckets over the same
 // thousand plans).
 func (e *Engine) LoadResult(r *transform.Result) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, dup := e.byID[r.Plan.ID]; dup {
+	return e.loadOne(r)
+}
+
+// loadOne registers one transformed plan in its home shard, bumping the
+// shard and engine generations inside the shard's critical section.
+func (e *Engine) loadOne(r *transform.Result) error {
+	sh := e.shardFor(r.Plan.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.byID[r.Plan.ID]; dup {
 		return fmt.Errorf("core: plan %q %w", r.Plan.ID, ErrDuplicatePlan)
 	}
-	e.plans = append(e.plans, r)
-	e.byID[r.Plan.ID] = r
+	e.insertLocked(sh, r)
 	e.generation.Add(1)
 	return nil
 }
 
-// LoadPlans registers a batch of plans.
+// LoadPlans registers a batch of plans, stopping at the first error. Each
+// plan bumps the data generation individually; use LoadBatch for the
+// single-bump ingest path.
 func (e *Engine) LoadPlans(plans []*qep.Plan) error {
 	for _, p := range plans {
 		if err := e.LoadPlan(p); err != nil {
@@ -200,6 +230,81 @@ func (e *Engine) LoadPlans(plans []*qep.Plan) error {
 		}
 	}
 	return nil
+}
+
+// LoadBatch validates, transforms and registers a batch of plans as one
+// repository mutation: transformation runs on the worker pool outside any
+// lock, the inserts happen under every shard lock at once, and the data
+// generation is bumped exactly once (if anything loaded), so a result
+// cache keyed on it invalidates once per batch instead of once per plan.
+// The i-th returned error is the i-th plan's outcome — validation failures
+// and duplicate IDs (within the engine or earlier in the same batch) are
+// per-plan, never batch-fatal.
+func (e *Engine) LoadBatch(plans []*qep.Plan) []error {
+	errs := make([]error, len(plans))
+	results := make([]*transform.Result, len(plans))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(e.workers, 1))
+	for i, p := range plans {
+		if err := p.Validate(); err != nil {
+			errs[i] = err
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *qep.Plan) {
+			defer wg.Done()
+			results[i] = transform.Transform(p)
+			<-sem
+		}(i, p)
+	}
+	wg.Wait()
+
+	e.lockAll()
+	loaded := 0
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		sh := e.shardFor(r.Plan.ID)
+		if _, dup := sh.byID[r.Plan.ID]; dup {
+			errs[i] = fmt.Errorf("core: plan %q %w", r.Plan.ID, ErrDuplicatePlan)
+			continue
+		}
+		e.insertLocked(sh, r)
+		loaded++
+	}
+	if loaded > 0 {
+		e.generation.Add(1)
+	}
+	e.unlockAll()
+	return errs
+}
+
+// LoadTextBatch parses and registers a batch of explain texts through
+// LoadBatch. plans[i] is the parsed plan when text i parsed (set even when
+// loading then failed as a duplicate); errs[i] is the per-text outcome.
+func (e *Engine) LoadTextBatch(texts []string) (plans []*qep.Plan, errs []error) {
+	plans = make([]*qep.Plan, len(texts))
+	errs = make([]error, len(texts))
+	var parsed []*qep.Plan
+	var idx []int
+	for i, text := range texts {
+		p, err := qep.Parse(text)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		plans[i] = p
+		parsed = append(parsed, p)
+		idx = append(idx, i)
+	}
+	for j, err := range e.LoadBatch(parsed) {
+		if err != nil {
+			errs[idx[j]] = err
+		}
+	}
+	return plans, errs
 }
 
 // LoadText parses explain text and registers the plan.
@@ -248,18 +353,13 @@ func (e *Engine) LoadDir(dir string) (int, error) {
 // their own snapshot of the plan list, so removal never disturbs a running
 // scan.
 func (e *Engine) RemovePlan(id string) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.byID[id]; !ok {
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.byID[id]; !ok {
 		return false
 	}
-	delete(e.byID, id)
-	for i, r := range e.plans {
-		if r.Plan.ID == id {
-			e.plans = append(e.plans[:i:i], e.plans[i+1:]...)
-			break
-		}
-	}
+	sh.removeLocked(id)
 	e.generation.Add(1)
 	return true
 }
@@ -273,17 +373,21 @@ func (e *Engine) Generation() uint64 { return e.generation.Load() }
 
 // NumPlans reports how many plans are loaded.
 func (e *Engine) NumPlans() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.plans)
+	n := 0
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		n += len(sh.plans)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Plans returns the loaded plans in load order.
+// Plans returns the loaded plans in load order (merged across shards by
+// global load sequence).
 func (e *Engine) Plans() []*qep.Plan {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]*qep.Plan, len(e.plans))
-	for i, r := range e.plans {
+	ss := e.snapshot(nil)
+	out := make([]*qep.Plan, len(ss.plans))
+	for i, r := range ss.plans {
 		out[i] = r.Plan
 	}
 	return out
@@ -291,9 +395,10 @@ func (e *Engine) Plans() []*qep.Plan {
 
 // Plan returns the loaded plan with the given ID, or nil.
 func (e *Engine) Plan(id string) *qep.Plan {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if r, ok := e.byID[id]; ok {
+	sh := e.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if r, ok := sh.byID[id]; ok {
 		return r.Plan
 	}
 	return nil
@@ -305,9 +410,10 @@ func (e *Engine) Plan(id string) *qep.Plan {
 // paying for a fresh transformation whose blank-node labels might differ.
 // Results are immutable after load and safe for concurrent readers.
 func (e *Engine) Result(id string) *transform.Result {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.byID[id]
+	sh := e.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.byID[id]
 }
 
 // Binding is one de-transformed result-handler binding of a match.
@@ -426,21 +532,18 @@ func (e *Engine) FindSPARQLContext(ctx context.Context, query string) ([]Match, 
 // plan snapshot was taken at (for cache-store validation).
 func (e *Engine) findSPARQL(ctx context.Context, q *sparql.Query) ([]Match, uint64, error) {
 	analysis := q.Analysis()
-	e.mu.RLock()
-	plans := append([]*transform.Result(nil), e.plans...)
-	gen := e.generation.Load()
-	e.mu.RUnlock()
+	ss := e.snapshot([]*sparql.Analysis{analysis})
 	if e.instr.Search != nil {
-		defer func(start time.Time) { e.instr.Search(time.Since(start), len(plans)) }(time.Now())
+		defer func(start time.Time) { e.instr.Search(time.Since(start), len(ss.plans)) }(time.Now())
 	}
 
 	type chunk struct {
 		matches []Match
 		err     error
 	}
-	results := make([]chunk, len(plans))
-	ferr := e.forEachPlan(ctx, plans, func(i int, r *transform.Result) {
-		if !e.mayMatch(analysis, r) {
+	results := make([]chunk, len(ss.plans))
+	ferr := e.forEachPlan(ctx, ss.plans, func(i int, r *transform.Result) {
+		if !e.mayMatchAt(ss, i, 0, analysis) {
 			return
 		}
 		ms, err := e.matchPlan(ctx, q, r)
@@ -450,14 +553,14 @@ func (e *Engine) findSPARQL(ctx context.Context, q *sparql.Query) ([]Match, uint
 	var out []Match
 	for _, c := range results {
 		if c.err != nil {
-			return nil, gen, c.err
+			return nil, ss.gen, c.err
 		}
 		out = append(out, c.matches...)
 	}
 	if ferr != nil {
-		return nil, gen, ferr
+		return nil, ss.gen, ferr
 	}
-	return out, gen, nil
+	return out, ss.gen, nil
 }
 
 func (e *Engine) matchPlan(ctx context.Context, q *sparql.Query, r *transform.Result) ([]Match, error) {
@@ -569,28 +672,29 @@ func (e *Engine) runKB(ctx context.Context, k *kb.KnowledgeBase) ([]PlanReport, 
 		entries = append(entries, compiledEntry{entry: entry, query: q, analysis: q.Analysis()})
 	}
 
-	e.mu.RLock()
-	plans := append([]*transform.Result(nil), e.plans...)
-	gen := e.generation.Load()
-	e.mu.RUnlock()
+	analyses := make([]*sparql.Analysis, len(entries))
+	for i := range entries {
+		analyses[i] = entries[i].analysis
+	}
+	ss := e.snapshot(analyses)
 	if e.instr.KBScan != nil {
-		defer func(start time.Time) { e.instr.KBScan(time.Since(start), len(plans), len(entries)) }(time.Now())
+		defer func(start time.Time) { e.instr.KBScan(time.Since(start), len(ss.plans), len(entries)) }(time.Now())
 	}
 
-	reports := make([]PlanReport, len(plans))
-	errs := make([]error, len(plans))
-	ferr := e.forEachPlan(ctx, plans, func(i int, r *transform.Result) {
-		reports[i], errs[i] = e.planReport(ctx, entries, r)
+	reports := make([]PlanReport, len(ss.plans))
+	errs := make([]error, len(ss.plans))
+	ferr := e.forEachPlan(ctx, ss.plans, func(i int, r *transform.Result) {
+		reports[i], errs[i] = e.planReport(ctx, ss, i, entries, r)
 	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, gen, err
+			return nil, ss.gen, err
 		}
 	}
 	if ferr != nil {
-		return nil, gen, ferr
+		return nil, ss.gen, ferr
 	}
-	return reports, gen, nil
+	return reports, ss.gen, nil
 }
 
 // compiledEntry pairs a knowledge-base entry with its parsed query and the
@@ -602,11 +706,12 @@ type compiledEntry struct {
 }
 
 // planReport matches every knowledge-base entry against one plan and
-// assembles the ranked recommendation list.
-func (e *Engine) planReport(ctx context.Context, entries []compiledEntry, r *transform.Result) (PlanReport, error) {
+// assembles the ranked recommendation list. i indexes the plan within the
+// scan set, so the shard-level prefilter verdicts apply per entry.
+func (e *Engine) planReport(ctx context.Context, ss *scanSet, i int, entries []compiledEntry, r *transform.Result) (PlanReport, error) {
 	report := PlanReport{Plan: r.Plan}
-	for _, ce := range entries {
-		if !e.mayMatch(ce.analysis, r) {
+	for ei, ce := range entries {
+		if !e.mayMatchAt(ss, i, ei, ce.analysis) {
 			continue
 		}
 		res, err := e.execTimed(ctx, ce.query, r)

@@ -26,14 +26,20 @@ type PrefilterStats struct {
 	// Skipped counts pairs discarded without evaluation because the plan's
 	// vocabulary misses a required constant of the query.
 	Skipped int64
+	// ShardSkips counts (shard, query) pairs discarded wholesale by the
+	// shard-level union-vocabulary probe. Every such skip also advances
+	// Probed and Skipped by the shard's plan count, so those two counters
+	// stay identical to probing each member plan individually.
+	ShardSkips int64
 }
 
 // PrefilterStats returns a snapshot of the prefilter counters. With the
-// prefilter disabled both counters stay zero.
+// prefilter disabled all counters stay zero.
 func (e *Engine) PrefilterStats() PrefilterStats {
 	return PrefilterStats{
-		Probed:  e.pfProbed.Load(),
-		Skipped: e.pfSkipped.Load(),
+		Probed:     e.pfProbed.Load(),
+		Skipped:    e.pfSkipped.Load(),
+		ShardSkips: e.shardSkips.Load(),
 	}
 }
 

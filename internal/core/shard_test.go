@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"optimatch/internal/kb"
+	"optimatch/internal/qep"
+	"optimatch/internal/workload"
+)
+
+// shardGrid is the shard-count grid the determinism property is pinned over
+// (the acceptance grid from the sharding design).
+var shardGrid = []int{1, 2, 4, 8}
+
+// TestShardGridByteIdentity is the sharding determinism property test: the
+// same workload — loaded through a mix of single loads, one batch load and a
+// few removals — must produce byte-identical RunKB reports, FindSPARQL
+// matches and Plans() order for every shard count in the grid.
+func TestShardGridByteIdentity(t *testing.T) {
+	w, err := workload.Generate(workload.Config{
+		Seed: 2016, NumPlans: 48, MinOps: 25, MaxOps: 80,
+		InjectA: 8, InjectB: 6, InjectC: 8, InjectD: 5, InjectG: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kb.MustExtended()
+
+	// Drive the same mutation history on every engine: first third loaded
+	// one by one, middle third as one batch, last third one by one, then a
+	// few removals spread across the ID space.
+	build := func(shards int) *Engine {
+		e := New(WithShards(shards), WithWorkers(4))
+		third := len(w.Plans) / 3
+		for _, p := range w.Plans[:third] {
+			if err := e.LoadPlan(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, err := range e.LoadBatch(w.Plans[third : 2*third]) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range w.Plans[2*third:] {
+			if err := e.LoadPlan(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, i := range []int{3, 17, 29, 41} {
+			if !e.RemovePlan(w.Plans[i].ID) {
+				t.Fatalf("plan %s not removed", w.Plans[i].ID)
+			}
+		}
+		return e
+	}
+
+	type rendered struct {
+		plans   string
+		reports string
+		matches string
+	}
+	render := func(e *Engine) rendered {
+		var ids []string
+		for _, p := range e.Plans() {
+			ids = append(ids, p.ID)
+		}
+		reports, err := e.RunKB(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := e.FindSPARQL(cancelTestQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rendered{
+			plans:   strings.Join(ids, ","),
+			reports: renderReports(reports),
+			matches: renderMatches(ms),
+		}
+	}
+
+	base := render(build(1))
+	if base.reports == "" || base.plans == "" {
+		t.Fatal("baseline render is empty; workload produced nothing")
+	}
+	for _, shards := range shardGrid[1:] {
+		e := build(shards)
+		if got := e.NumShards(); got != shards {
+			t.Fatalf("NumShards = %d, want %d", got, shards)
+		}
+		got := render(e)
+		if got.plans != base.plans {
+			t.Fatalf("%d shards: Plans() order differs:\n got %s\nwant %s", shards, got.plans, base.plans)
+		}
+		if got.reports != base.reports {
+			t.Fatalf("%d shards: RunKB reports differ from single-shard output:\n--- %d shards ---\n%s--- 1 shard ---\n%s",
+				shards, shards, got.reports, base.reports)
+		}
+		if got.matches != base.matches {
+			t.Fatalf("%d shards: FindSPARQL matches differ:\n--- %d shards ---\n%s--- 1 shard ---\n%s",
+				shards, shards, got.matches, base.matches)
+		}
+	}
+}
+
+// TestShardGridPrefilterParity pins the counter contract of the shard-level
+// prefilter: because a shard skip advances Probed/Skipped by the shard's
+// plan count, the totals after a full KB scan are identical for every shard
+// count.
+func TestShardGridPrefilterParity(t *testing.T) {
+	w, err := workload.Generate(workload.Config{
+		Seed: 99, NumPlans: 30, MinOps: 20, MaxOps: 60, InjectA: 5, InjectC: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kb.MustExtended()
+	var base PrefilterStats
+	for gi, shards := range shardGrid {
+		e := New(WithShards(shards))
+		if err := e.LoadPlans(w.Plans); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.RunKB(k); err != nil {
+			t.Fatal(err)
+		}
+		stats := e.PrefilterStats()
+		if gi == 0 {
+			base = stats
+			if base.Probed == 0 {
+				t.Fatal("prefilter never probed")
+			}
+			continue
+		}
+		if stats.Probed != base.Probed || stats.Skipped != base.Skipped {
+			t.Fatalf("%d shards: prefilter counters {probed %d, skipped %d} differ from 1 shard {probed %d, skipped %d}",
+				shards, stats.Probed, stats.Skipped, base.Probed, base.Skipped)
+		}
+	}
+}
+
+// TestLoadBatchSingleGenerationBump pins the batch cache-invalidation
+// contract: one batch, however many plans, bumps the data generation exactly
+// once; an all-rejected batch does not bump it at all.
+func TestLoadBatchSingleGenerationBump(t *testing.T) {
+	w, err := workload.Generate(workload.Config{Seed: 5, NumPlans: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(WithShards(4))
+	before := e.Generation()
+	for _, err := range e.LoadBatch(w.Plans) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Generation(); got != before+1 {
+		t.Fatalf("generation after %d-plan batch = %d, want %d", len(w.Plans), got, before+1)
+	}
+	if got := e.NumPlans(); got != len(w.Plans) {
+		t.Fatalf("NumPlans = %d, want %d", got, len(w.Plans))
+	}
+
+	// Re-loading the same batch rejects every plan as a duplicate and must
+	// leave the generation untouched.
+	before = e.Generation()
+	for i, err := range e.LoadBatch(w.Plans) {
+		if !errors.Is(err, ErrDuplicatePlan) {
+			t.Fatalf("plan %d: err = %v, want ErrDuplicatePlan", i, err)
+		}
+	}
+	if got := e.Generation(); got != before {
+		t.Fatalf("generation after all-duplicate batch = %d, want unchanged %d", got, before)
+	}
+}
+
+// TestLoadBatchPerPlanOutcomes exercises the mixed-outcome contract: invalid
+// plans, intra-batch duplicates and engine-level duplicates fail per-record
+// while the rest of the batch loads.
+func TestLoadBatchPerPlanOutcomes(t *testing.T) {
+	w, err := workload.Generate(workload.Config{Seed: 11, NumPlans: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(WithShards(2))
+	if err := e.LoadPlan(w.Plans[0]); err != nil {
+		t.Fatal(err)
+	}
+	batch := []*qep.Plan{
+		w.Plans[0], // duplicate of an already-loaded plan
+		w.Plans[1], // fresh
+		w.Plans[1], // intra-batch duplicate
+		{},         // invalid: fails validation
+		w.Plans[2], // fresh
+	}
+	errs := e.LoadBatch(batch)
+	if !errors.Is(errs[0], ErrDuplicatePlan) {
+		t.Fatalf("errs[0] = %v, want ErrDuplicatePlan", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("errs[1] = %v, want nil", errs[1])
+	}
+	if !errors.Is(errs[2], ErrDuplicatePlan) {
+		t.Fatalf("errs[2] = %v, want ErrDuplicatePlan (intra-batch)", errs[2])
+	}
+	if errs[3] == nil {
+		t.Fatal("errs[3] = nil, want a validation error")
+	}
+	if errs[4] != nil {
+		t.Fatalf("errs[4] = %v, want nil", errs[4])
+	}
+	if got := e.NumPlans(); got != 3 {
+		t.Fatalf("NumPlans = %d, want 3", got)
+	}
+}
+
+// TestShardStats sanity-checks the per-shard view: plan counts sum to the
+// total, and with enough plans and shards the routing spreads load across
+// more than one shard.
+func TestShardStats(t *testing.T) {
+	w, err := workload.Generate(workload.Config{Seed: 21, NumPlans: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(WithShards(4))
+	if err := e.LoadPlans(w.Plans); err != nil {
+		t.Fatal(err)
+	}
+	stats := e.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("len(ShardStats) = %d, want 4", len(stats))
+	}
+	total, populated := 0, 0
+	for _, st := range stats {
+		total += st.Plans
+		if st.Plans > 0 {
+			populated++
+			if st.VocabTerms == 0 {
+				t.Fatal("populated shard has an empty union vocabulary")
+			}
+			if st.Generation == 0 {
+				t.Fatal("populated shard has generation 0")
+			}
+		}
+	}
+	if total != len(w.Plans) {
+		t.Fatalf("shard plan counts sum to %d, want %d", total, len(w.Plans))
+	}
+	if populated < 2 {
+		t.Fatalf("only %d of 4 shards populated with %d plans; fnv64a routing suspect", populated, len(w.Plans))
+	}
+}
+
+// TestLoadTextBatch exercises the text-level batch entry point: parse
+// failures are per-record and parsed plans are reported even when loading
+// then fails as a duplicate.
+func TestLoadTextBatch(t *testing.T) {
+	w, err := workload.Generate(workload.Config{Seed: 33, NumPlans: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := w.Texts()
+	texts := []string{byID[w.Plans[0].ID], "not a plan", byID[w.Plans[1].ID], byID[w.Plans[0].ID]}
+	e := New(WithShards(2))
+	plans, errs := e.LoadTextBatch(texts)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid texts failed: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("garbage text parsed without error")
+	}
+	if plans[1] != nil {
+		t.Fatal("garbage text yielded a plan")
+	}
+	if !errors.Is(errs[3], ErrDuplicatePlan) {
+		t.Fatalf("errs[3] = %v, want ErrDuplicatePlan", errs[3])
+	}
+	if plans[3] == nil {
+		t.Fatal("duplicate text should still report its parsed plan")
+	}
+	if got := e.NumPlans(); got != 2 {
+		t.Fatalf("NumPlans = %d, want 2", got)
+	}
+}
+
+// TestWithShardsAuto pins the auto-shard contract: n <= 0 yields at least
+// one shard and never more than maxAutoShards.
+func TestWithShardsAuto(t *testing.T) {
+	e := New(WithShards(0))
+	if n := e.NumShards(); n < 1 || n > maxAutoShards {
+		t.Fatalf("auto shard count = %d, want 1..%d", n, maxAutoShards)
+	}
+	if n := New().NumShards(); n != 1 {
+		t.Fatalf("default shard count = %d, want 1", n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -166,22 +167,44 @@ type admission struct {
 // execContext derives the context one engine execution runs under: the
 // request context (so client disconnects and shutdown propagate), bounded
 // by the server's query timeout. A client may shorten the deadline with an
-// X-Timeout-Ms header; values above the server cap (or malformed ones) are
-// ignored rather than honoured, so the flag stays the ceiling.
-func (s *Server) execContext(r *http.Request) (context.Context, context.CancelFunc) {
+// X-Timeout-Ms header; a malformed or non-positive value is an error (the
+// caller answers 400) rather than a silent fallback to the server cap, and
+// values above the cap are clamped to it, so the flag stays the ceiling.
+func (s *Server) execContext(r *http.Request) (context.Context, context.CancelFunc, error) {
 	d := s.queryTimeout
 	if hdr := r.Header.Get("X-Timeout-Ms"); hdr != "" {
-		if ms, err := strconv.ParseInt(hdr, 10, 64); err == nil && ms > 0 {
-			hd := time.Duration(ms) * time.Millisecond
-			if d == 0 || hd < d {
-				d = hd
-			}
+		ms, err := strconv.ParseInt(hdr, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("invalid X-Timeout-Ms %q: want a positive integer of milliseconds", hdr)
+		}
+		if ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid X-Timeout-Ms %q: must be positive", hdr)
+		}
+		hd := time.Duration(math.MaxInt64) // ms counts that overflow a Duration clamp to the max
+		if ms <= int64(hd/time.Millisecond) {
+			hd = time.Duration(ms) * time.Millisecond
+		}
+		if d == 0 || hd < d {
+			d = hd
 		}
 	}
 	if d <= 0 {
-		return context.WithCancel(r.Context())
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, nil
 	}
-	return context.WithTimeout(r.Context(), d)
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// retryAfterHint renders the Retry-After value for a shed response: the
+// configured queue-wait budget rounded up to whole seconds, floored at 1 —
+// retrying sooner than the queue budget would just queue and shed again.
+func retryAfterHint(queueWait time.Duration) string {
+	secs := (queueWait + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(int64(secs), 10)
 }
 
 // gated wraps an exec handler with the admission gate. weight expresses
@@ -209,7 +232,7 @@ func (s *Server) gated(weight int64, h http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 			s.exec.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterHint(s.adm.queueWait))
 			writeError(w, http.StatusServiceUnavailable, errShed)
 			return
 		}

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"optimatch/internal/cache"
+	"optimatch/internal/core"
+	"optimatch/internal/fixtures"
+	"optimatch/internal/qep"
+	"optimatch/internal/store"
+)
+
+// ndjson renders explain texts as an NDJSON batch body, one JSON string per
+// line (the explain text itself is multi-line, hence the JSON framing).
+func ndjson(t *testing.T, texts ...string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, text := range texts {
+		line, err := json.Marshal(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// fixtureTexts renders n distinctly-named fixture plans to explain text.
+func fixtureTexts(n int) []string {
+	plans := fixtures.Numbered(n)
+	out := make([]string, n)
+	for i, p := range plans {
+		out[i] = qep.Text(p)
+	}
+	return out
+}
+
+func postBatch(t *testing.T, url, body string) (*http.Response, batchResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/api/plans:batch", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br batchResponse
+	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusInternalServerError {
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatalf("decoding batch response: %v", err)
+		}
+	}
+	return resp, br
+}
+
+func TestBatchUploadAllCreated(t *testing.T) {
+	eng := core.New(core.WithShards(4))
+	s := New(eng, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	texts := fixtureTexts(6)
+	genBefore := eng.Generation()
+	resp, br := postBatch(t, ts.URL, ndjson(t, texts...))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+	if br.Accepted != len(texts) || br.Rejected != 0 {
+		t.Fatalf("accepted/rejected = %d/%d, want %d/0", br.Accepted, br.Rejected, len(texts))
+	}
+	for i, res := range br.Results {
+		if res.Status != http.StatusCreated || res.ID == "" || res.Index != i {
+			t.Fatalf("result %d = %+v, want 201 with an ID", i, res)
+		}
+	}
+	if got := eng.NumPlans(); got != len(texts) {
+		t.Fatalf("NumPlans = %d, want %d", got, len(texts))
+	}
+	// The whole batch is one generation bump: a result cache keyed on the
+	// generation invalidates once, not per plan.
+	if got := eng.Generation(); got != genBefore+1 {
+		t.Fatalf("generation moved %d -> %d across one batch, want exactly +1", genBefore, got)
+	}
+}
+
+func TestBatchUploadMixedOutcomes207(t *testing.T) {
+	eng := core.New(core.WithShards(2))
+	if err := eng.LoadPlans(fixtures.Numbered(1)); err != nil { // W1 pre-loaded
+		t.Fatal(err)
+	}
+	s := New(eng, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	texts := fixtureTexts(3) // W1 (dup), W2, W3
+	body := ndjson(t, texts[0], texts[1], "garbage explain", texts[2]) + "{\"noText\":1}\nnot-json\n"
+	resp, br := postBatch(t, ts.URL, body)
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("status = %d, want 207", resp.StatusCode)
+	}
+	wantStatus := []int{
+		http.StatusConflict,            // duplicate of the pre-loaded W1
+		http.StatusCreated,             // fresh
+		http.StatusUnprocessableEntity, // parses as JSON, not as a plan
+		http.StatusCreated,             // fresh
+		http.StatusUnprocessableEntity, // object without "text"
+		http.StatusUnprocessableEntity, // not valid JSON at all
+	}
+	if len(br.Results) != len(wantStatus) {
+		t.Fatalf("results = %d, want %d", len(br.Results), len(wantStatus))
+	}
+	for i, want := range wantStatus {
+		if br.Results[i].Status != want {
+			t.Fatalf("result %d status = %d (%s), want %d", i, br.Results[i].Status, br.Results[i].Error, want)
+		}
+		if want != http.StatusCreated && br.Results[i].Error == "" {
+			t.Fatalf("result %d rejected without an error message", i)
+		}
+	}
+	if br.Accepted != 2 || br.Rejected != 4 {
+		t.Fatalf("accepted/rejected = %d/%d, want 2/4", br.Accepted, br.Rejected)
+	}
+	if got := eng.NumPlans(); got != 3 {
+		t.Fatalf("NumPlans = %d, want 3", got)
+	}
+}
+
+func TestBatchUploadAllRejected422(t *testing.T) {
+	_, ts := testServer(t)
+	resp, br := postBatch(t, ts.URL, "\"garbage one\"\n\"garbage two\"\n")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	if br.Accepted != 0 || br.Rejected != 2 {
+		t.Fatalf("accepted/rejected = %d/%d, want 0/2", br.Accepted, br.Rejected)
+	}
+}
+
+func TestBatchUploadFraming400(t *testing.T) {
+	eng := core.New()
+	s := New(eng, nil, WithBatchLimits(2, 0))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Empty body (and blank lines only) is malformed framing.
+	for _, body := range []string{"", "\n\n  \n"} {
+		resp, _ := postBatch(t, ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("empty batch: status = %d, want 400", resp.StatusCode)
+		}
+	}
+	// Over the record limit: rejected before any record is examined.
+	resp, _ := postBatch(t, ts.URL, "\"a\"\n\"b\"\n\"c\"\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status = %d, want 400", resp.StatusCode)
+	}
+	if got := eng.NumPlans(); got != 0 {
+		t.Fatalf("rejected framing loaded %d plans", got)
+	}
+}
+
+// TestBatchUploadObjectRecords: the {"text": ...} record form loads like the
+// bare-string form.
+func TestBatchUploadObjectRecords(t *testing.T) {
+	eng := core.New()
+	s := New(eng, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	texts := fixtureTexts(2)
+	var b strings.Builder
+	for _, text := range texts {
+		line, err := json.Marshal(map[string]string{"text": text})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteString("\n")
+	}
+	resp, br := postBatch(t, ts.URL, b.String())
+	if resp.StatusCode != http.StatusCreated || br.Accepted != 2 {
+		t.Fatalf("status = %d accepted = %d, want 201 / 2", resp.StatusCode, br.Accepted)
+	}
+}
+
+// TestBatchUploadStoreSingleFsync is the durability half of the batch
+// contract over HTTP: a store-backed batch of N plans costs one WAL record
+// and one fsync, and /api/stats exposes the batch counters.
+func TestBatchUploadStoreSingleFsync(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.WithEngineOptions(core.WithShards(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := New(st.Engine(), st.KB(), WithStore(st))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	texts := fixtureTexts(8)
+	before := st.Stats()
+	resp, br := postBatch(t, ts.URL, ndjson(t, texts...))
+	if resp.StatusCode != http.StatusCreated || br.Accepted != len(texts) {
+		t.Fatalf("status = %d accepted = %d, want 201 / %d", resp.StatusCode, br.Accepted, len(texts))
+	}
+	after := st.Stats()
+	if got := after.Fsyncs - before.Fsyncs; got != 1 {
+		t.Fatalf("batch of %d plans cost %d fsyncs, want 1", len(texts), got)
+	}
+	if after.BatchAppends != 1 || after.BatchPlans != int64(len(texts)) {
+		t.Fatalf("store batch counters = %d appends / %d plans, want 1 / %d",
+			after.BatchAppends, after.BatchPlans, len(texts))
+	}
+
+	var stats statsBody
+	getJSON(t, ts.URL+"/api/stats", http.StatusOK, &stats)
+	if stats.Batch.Requests != 1 || stats.Batch.Accepted != int64(len(texts)) {
+		t.Fatalf("stats.Batch = %+v", stats.Batch)
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("stats.Shards has %d entries, want 4", len(stats.Shards))
+	}
+	totalPlans := 0
+	for _, sh := range stats.Shards {
+		totalPlans += sh.Plans
+	}
+	if totalPlans != len(texts) {
+		t.Fatalf("shard stats sum to %d plans, want %d", totalPlans, len(texts))
+	}
+}
+
+// TestBatchHammerRace mixes concurrent batch ingests with cached and
+// bypassed KB scans; under -race it proves the sharded snapshot/generation
+// protocol holds with the full HTTP stack in the loop.
+func TestBatchHammerRace(t *testing.T) {
+	c := cache.New(cache.Config{MaxBytes: 16 << 20})
+	eng := core.New(core.WithShards(4), core.WithResultCache(c))
+	s := New(eng, nil, WithResultCache(c))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const batches = 6
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			plans := fixtures.Numbered(4)
+			texts := make([]string, len(plans))
+			for i, p := range plans {
+				texts[i] = qep.Text(fixtures.Renamed(p, fmt.Sprintf("H%d-%d", b, i)))
+			}
+			resp, br := postBatch(t, ts.URL, ndjson(t, texts...))
+			if resp.StatusCode != http.StatusCreated || br.Accepted != len(texts) {
+				t.Errorf("batch %d: status %d accepted %d", b, resp.StatusCode, br.Accepted)
+			}
+		}(b)
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hdr := map[string]string{}
+			if g%2 == 1 {
+				hdr["Cache-Control"] = "no-cache" // bypass: always scans
+			}
+			for i := 0; i < 3; i++ {
+				resp, _ := cacheReq(t, "POST", ts.URL+"/api/kb/run", "", hdr)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("kb/run: status %d", resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := eng.NumPlans(), batches*4; got != want {
+		t.Fatalf("NumPlans = %d, want %d", got, want)
+	}
+	// A final scan after the dust settles must see every plan exactly once.
+	resp, body := cacheReq(t, "POST", ts.URL+"/api/kb/run", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final kb/run: status %d", resp.StatusCode)
+	}
+	var reports []reportBody
+	if err := json.Unmarshal([]byte(body), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != batches*4 {
+		t.Fatalf("final scan reported %d plans, want %d", len(reports), batches*4)
+	}
+}

@@ -86,8 +86,13 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ctx context
 	b := v.([]byte)
 	w.Header().Set("X-Cache", out.String())
 	w.Header().Set("Content-Type", contentType)
+	// Content-Length is set explicitly so HEAD answers carry the same
+	// headers a GET would; the body itself is GET-only (RFC 9110 §9.3.2).
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(b)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(b)
+	}
 }
 
 // fnv64a is the FNV-1a hash of s, used to keep plan IDs of any length and

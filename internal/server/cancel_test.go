@@ -75,31 +75,103 @@ func TestHeaderShortensDeadlineNeverExtends(t *testing.T) {
 
 	r := httptest.NewRequest("POST", "/api/sparql", nil)
 	r.Header.Set("X-Timeout-Ms", "5")
-	ctx, cancel := s.execContext(r)
+	ctx, cancel, err := s.execContext(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, ok := ctx.Deadline()
 	cancel()
 	if !ok || time.Until(d) > 10*time.Millisecond {
 		t.Fatalf("header did not shorten the deadline (deadline in %v)", time.Until(d))
 	}
 
-	r = httptest.NewRequest("POST", "/api/sparql", nil)
-	r.Header.Set("X-Timeout-Ms", "3600000") // 1h: above the server cap
-	ctx, cancel = s.execContext(r)
-	d, ok = ctx.Deadline()
-	cancel()
-	if !ok || time.Until(d) > 31*time.Second {
-		t.Fatalf("header extended the deadline past the cap (deadline in %v)", time.Until(d))
-	}
-
-	// Malformed and non-positive values are ignored.
-	for _, bad := range []string{"abc", "-5", "0", ""} {
+	// Values above the server cap — including ms counts that would overflow
+	// a time.Duration — clamp to the cap instead of extending it.
+	for _, above := range []string{"3600000" /* 1h */, "9223372036854775807" /* overflows Duration */} {
 		r = httptest.NewRequest("POST", "/api/sparql", nil)
-		r.Header.Set("X-Timeout-Ms", bad)
-		ctx, cancel = s.execContext(r)
+		r.Header.Set("X-Timeout-Ms", above)
+		ctx, cancel, err = s.execContext(r)
+		if err != nil {
+			t.Fatalf("header %q: %v", above, err)
+		}
 		d, ok = ctx.Deadline()
 		cancel()
-		if !ok || time.Until(d) < 29*time.Second {
-			t.Fatalf("header %q changed the deadline (deadline in %v)", bad, time.Until(d))
+		if !ok || time.Until(d) > 31*time.Second {
+			t.Fatalf("header %q extended the deadline past the cap (deadline in %v)", above, time.Until(d))
+		}
+	}
+
+	// An absent header runs at the server cap.
+	r = httptest.NewRequest("POST", "/api/sparql", nil)
+	ctx, cancel, err = s.execContext(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok = ctx.Deadline()
+	cancel()
+	if !ok || time.Until(d) < 29*time.Second {
+		t.Fatalf("absent header changed the deadline (deadline in %v)", time.Until(d))
+	}
+
+	// Malformed and non-positive values are rejected, not silently ignored.
+	for _, bad := range []string{"abc", "-5", "0", "1.5", "10s", "99999999999999999999" /* overflows int64 */} {
+		r = httptest.NewRequest("POST", "/api/sparql", nil)
+		r.Header.Set("X-Timeout-Ms", bad)
+		if _, _, err := s.execContext(r); err == nil {
+			t.Fatalf("header %q accepted, want an error", bad)
+		}
+	}
+}
+
+// TestMalformedTimeoutHeaderIs400 drives the rejection through the full
+// handler stack: a bad X-Timeout-Ms answers 400 with a JSON error body on
+// every gated route.
+func TestMalformedTimeoutHeaderIs400(t *testing.T) {
+	_, ts := slowServer(t, WithQueryTimeout(time.Minute))
+	for _, tc := range []struct{ name, value string }{
+		{"letters", "abc"},
+		{"zero", "0"},
+		{"negative", "-5"},
+		{"int64 overflow", "99999999999999999999"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, route := range []string{"/api/sparql", "/api/kb/run"} {
+				req, _ := http.NewRequest("POST", ts.URL+route, strings.NewReader(fastQuery))
+				req.Header.Set("X-Timeout-Ms", tc.value)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var eb errorBody
+				decodeErr := json.NewDecoder(resp.Body).Decode(&eb)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("%s with X-Timeout-Ms %q: status = %d, want 400", route, tc.value, resp.StatusCode)
+				}
+				if decodeErr != nil || !strings.Contains(eb.Error, "X-Timeout-Ms") {
+					t.Fatalf("%s: error body %q does not name the header (decode err %v)", route, eb.Error, decodeErr)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryAfterHint pins the shed back-off derivation: the queue-wait
+// budget rounded up to whole seconds, floored at one.
+func TestRetryAfterHint(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want string
+	}{
+		{0, "1"},
+		{5 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1001 * time.Millisecond, "2"},
+		{2500 * time.Millisecond, "3"},
+		{10 * time.Second, "10"},
+	} {
+		if got := retryAfterHint(tc.wait); got != tc.want {
+			t.Errorf("retryAfterHint(%v) = %q, want %q", tc.wait, got, tc.want)
 		}
 	}
 }
@@ -165,8 +237,10 @@ func TestAdmissionShedsWith503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("503 without Retry-After")
+	// The hint derives from the configured queue wait (5ms rounds up to the
+	// 1s floor), not a hardcoded constant.
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want %q (ceil of the 5ms queue-wait budget, floored at 1s)", got, "1")
 	}
 	var eb errorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {

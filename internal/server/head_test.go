@@ -1,0 +1,95 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// TestHeadMatchesGetForPlanRDF is the HEAD conformance test for
+// /api/plans/{id}/rdf: a HEAD answers with the same status, ETag, X-Cache,
+// Content-Type and Content-Length a GET would — including 304 revalidation —
+// but never writes a body.
+func TestHeadMatchesGetForPlanRDF(t *testing.T) {
+	_, ts, _ := cachedTestServer(t)
+	url := ts.URL + "/api/plans/Q2/rdf"
+
+	// Cold GET fills the cache and yields the reference headers and body.
+	getResp, getBody := cacheReq(t, "GET", url, "", nil)
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", getResp.StatusCode)
+	}
+	etag := getResp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("GET without ETag")
+	}
+	if got := getResp.Header.Get("Content-Length"); got != strconv.Itoa(len(getBody)) {
+		t.Fatalf("GET Content-Length = %q, body is %d bytes", got, len(getBody))
+	}
+
+	// HEAD after the warm-up: identical headers, hit in the cache, no body.
+	headResp, headBody := cacheReq(t, "HEAD", url, "", nil)
+	if headResp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status = %d", headResp.StatusCode)
+	}
+	if headBody != "" {
+		t.Fatalf("HEAD wrote a %d-byte body", len(headBody))
+	}
+	for _, h := range []string{"ETag", "Content-Type", "Content-Length", "X-Cache"} {
+		want := getResp.Header.Get(h)
+		if h == "X-Cache" {
+			want = "hit" // the GET warmed the cache
+		}
+		if got := headResp.Header.Get(h); got != want {
+			t.Errorf("HEAD %s = %q, want %q", h, got, want)
+		}
+	}
+
+	// Conditional HEAD revalidates exactly like a conditional GET: 304 with
+	// the ETag, no body.
+	for _, method := range []string{"GET", "HEAD"} {
+		resp, body := cacheReq(t, method, url, "", map[string]string{"If-None-Match": etag})
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("conditional %s status = %d, want 304", method, resp.StatusCode)
+		}
+		if body != "" {
+			t.Fatalf("conditional %s wrote a body", method)
+		}
+		if got := resp.Header.Get("ETag"); got != etag {
+			t.Fatalf("conditional %s ETag = %q, want %q", method, got, etag)
+		}
+	}
+
+	// A HEAD for an unknown plan is the same 404 a GET gets.
+	resp, _ := cacheReq(t, "HEAD", ts.URL+"/api/plans/NOPE/rdf", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD unknown plan status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHeadOnColdCache: a HEAD that misses the cache still renders (to learn
+// the length) but sends no body, and files the entry for a later GET.
+func TestHeadOnColdCache(t *testing.T) {
+	_, ts, _ := cachedTestServer(t)
+	url := ts.URL + "/api/plans/Q9/rdf"
+
+	headResp, headBody := cacheReq(t, "HEAD", url, "", nil)
+	if headResp.StatusCode != http.StatusOK || headBody != "" {
+		t.Fatalf("cold HEAD: status %d, body %d bytes", headResp.StatusCode, len(headBody))
+	}
+	if got := headResp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold HEAD X-Cache = %q, want miss", got)
+	}
+	cl, err := strconv.Atoi(headResp.Header.Get("Content-Length"))
+	if err != nil || cl <= 0 {
+		t.Fatalf("cold HEAD Content-Length = %q", headResp.Header.Get("Content-Length"))
+	}
+
+	getResp, getBody := cacheReq(t, "GET", url, "", nil)
+	if got := getResp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("GET after HEAD X-Cache = %q, want hit (HEAD should warm the cache)", got)
+	}
+	if len(getBody) != cl {
+		t.Fatalf("GET body is %d bytes, HEAD promised %d", len(getBody), cl)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strconv"
 	"time"
 
 	"optimatch/internal/cache"
@@ -117,6 +118,32 @@ func (s *Server) registerStateMetrics() {
 		return float64(st.Probed - st.Skipped)
 	}, "outcome", "passed")
 	reg.CounterFunc(pfName, pfHelp, func() float64 { return float64(s.eng.PrefilterStats().Skipped) }, "outcome", "skipped")
+	reg.CounterFunc("optimatch_core_prefilter_shard_skips_total",
+		"(shard, query) pairs discarded wholesale by the shard-level union-vocabulary probe.",
+		func() float64 { return float64(s.eng.PrefilterStats().ShardSkips) })
+
+	// Per-shard plan-store gauges: the shard count is fixed at construction,
+	// so one GaugeFunc per shard keeps cardinality bounded.
+	const shardPlansName = "optimatch_core_shard_plans"
+	const shardPlansHelp = "Plans held by each shard of the plan repository."
+	const shardGenName = "optimatch_core_shard_generation"
+	const shardGenHelp = "Mutation counter of each shard of the plan repository."
+	for i := 0; i < s.eng.NumShards(); i++ {
+		shard := strconv.Itoa(i)
+		idx := i
+		reg.GaugeFunc(shardPlansName, shardPlansHelp,
+			func() float64 { return float64(s.eng.ShardStats()[idx].Plans) }, "shard", shard)
+		reg.GaugeFunc(shardGenName, shardGenHelp,
+			func() float64 { return float64(s.eng.ShardStats()[idx].Generation) }, "shard", shard)
+	}
+
+	const batchName = "optimatch_ingest_batch_records_total"
+	const batchHelp = "NDJSON records received by POST /api/plans:batch, by outcome."
+	reg.CounterFunc(batchName, batchHelp, func() float64 { return float64(s.batch.accepted.Load()) }, "outcome", "accepted")
+	reg.CounterFunc(batchName, batchHelp, func() float64 { return float64(s.batch.rejected.Load()) }, "outcome", "rejected")
+	reg.CounterFunc("optimatch_ingest_batch_requests_total",
+		"Batch ingest requests that passed framing checks.",
+		func() float64 { return float64(s.batch.requests.Load()) })
 
 	const evalName = "optimatch_sparql_eval_total"
 	const evalHelp = "SPARQL executions by evaluator path."
@@ -196,4 +223,11 @@ func (s *Server) registerStateMetrics() {
 		stat(func(st store.Stats) float64 { return float64(st.RecoveryTruncations) }))
 	reg.CounterFunc("optimatch_store_compactions_total", "Compactions since open.",
 		stat(func(st store.Stats) float64 { return float64(st.Compactions) }))
+	reg.CounterFunc("optimatch_store_fsyncs_total", "WAL fsyncs since open (one per acknowledged append).",
+		stat(func(st store.Stats) float64 { return float64(st.Fsyncs) }))
+	const batchStoreName = "optimatch_store_batch_appends_total"
+	reg.CounterFunc(batchStoreName, "Batch WAL records appended since open.",
+		stat(func(st store.Stats) float64 { return float64(st.BatchAppends) }))
+	reg.CounterFunc("optimatch_store_batch_plans_total", "Plans persisted through batch records since open.",
+		stat(func(st store.Stats) float64 { return float64(st.BatchPlans) }))
 }

@@ -6,6 +6,7 @@
 //	GET    /healthz                  liveness
 //	GET    /api/plans                loaded plans (id, operators, total cost)
 //	POST   /api/plans                upload an explain file (text/plain body)
+//	POST   /api/plans:batch          batch upload (NDJSON, per-record outcomes)
 //	DELETE /api/plans/{id}           unload a plan (404 if unknown)
 //	GET    /api/plans/{id}/render    the ASCII plan graph
 //	GET    /api/plans/{id}/rdf       the plan's RDF as N-Triples
@@ -65,6 +66,10 @@ type Server struct {
 	baseCtx      context.Context // nil: shutdown indistinguishable from disconnect
 	exec         execCounters
 	cache        *cache.Cache // nil: responses render per request (see cache.go)
+
+	batchMaxRecords int   // NDJSON records per batch (see batch.go)
+	batchMaxBytes   int64 // request-body bytes per batch
+	batch           batchCounters
 
 	// mu guards kb access: mutation handlers hold the write lock (also
 	// around write-through store calls), read handlers the read lock.
@@ -157,7 +162,11 @@ func New(eng *core.Engine, base *kb.KnowledgeBase, opts ...Option) *Server {
 	if base == nil {
 		base = kb.MustCanonical()
 	}
-	s := &Server{eng: eng, kb: base, maxBody: maxBodyBytes}
+	s := &Server{
+		eng: eng, kb: base, maxBody: maxBodyBytes,
+		batchMaxRecords: defaultBatchMaxRecords,
+		batchMaxBytes:   defaultBatchMaxBytes,
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -172,6 +181,9 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /api/plans", s.handleListPlans)
 	mux.HandleFunc("POST /api/plans", s.handleUploadPlan)
+	// Batch ingest runs under the admission gate at the weight of a full
+	// scan: one batch can move as much data as many single uploads.
+	mux.HandleFunc("POST /api/plans:batch", s.gated(2, s.handleBatchUpload))
 	mux.HandleFunc("DELETE /api/plans/{id}", s.handleDeletePlan)
 	mux.HandleFunc("GET /api/plans/{id}/render", s.handleRenderPlan)
 	mux.HandleFunc("GET /api/plans/{id}/rdf", s.handlePlanRDF)
@@ -212,11 +224,18 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // ResponseWriter goes to MaxBytesReader so oversized requests also close the
 // connection instead of leaving the unread tail to stall keep-alive.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (string, error) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	data, err := readBodyLimited(w, r, s.maxBody)
+	return string(data), err
+}
+
+// readBodyLimited is readBody under an explicit limit (the batch route has
+// its own, separate from the per-plan cap).
+func readBodyLimited(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
-		return "", fmt.Errorf("reading request body: %w", err)
+		return nil, fmt.Errorf("reading request body: %w", err)
 	}
-	return string(data), nil
+	return data, nil
 }
 
 // bodyErrStatus maps a readBody failure to its status: an oversized body is
@@ -384,7 +403,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	ctx, cancel := s.execContext(r)
+	ctx, cancel, err := s.execContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	defer cancel()
 	ctx = cacheContext(ctx, r)
 	gen := s.eng.Generation()
@@ -412,7 +435,11 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query"))
 		return
 	}
-	ctx, cancel := s.execContext(r)
+	ctx, cancel, err := s.execContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	defer cancel()
 	ctx = cacheContext(ctx, r)
 	gen := s.eng.Generation()
@@ -530,7 +557,11 @@ func (s *Server) handleRunKB(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	base := s.kb.Snapshot()
 	s.mu.RUnlock()
-	ctx, cancel := s.execContext(r)
+	ctx, cancel, err := s.execContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	defer cancel()
 	ctx = cacheContext(ctx, r)
 	gen := s.eng.Generation()
@@ -571,8 +602,10 @@ type statsBody struct {
 	QueryCache core.CacheStats     `json:"queryCache"`
 	Eval       sparql.EvalSnapshot `json:"eval"`
 	Exec       ExecStats           `json:"exec"`
-	Cache      *cache.Stats        `json:"cache,omitempty"` // nil without -cache-bytes
-	Store      *store.Stats        `json:"store,omitempty"` // nil without -data
+	Batch      BatchStats          `json:"batch"`
+	Shards     []core.ShardStat    `json:"shards,omitempty"` // per-shard plan-store state
+	Cache      *cache.Stats        `json:"cache,omitempty"`  // nil without -cache-bytes
+	Store      *store.Stats        `json:"store,omitempty"`  // nil without -data
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -586,6 +619,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		QueryCache: s.eng.CacheStats(),
 		Eval:       s.eng.EvalStats(),
 		Exec:       s.exec.snapshot(),
+		Batch:      s.batch.snapshot(),
+		Shards:     s.eng.ShardStats(),
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

@@ -110,6 +110,9 @@ type Store struct {
 	walBytes      int64
 	appended      int64
 	appendedBytes int64
+	fsyncs        int64
+	batchAppends  int64
+	batchPlans    int64
 	recovered     int64
 	truncations   int64
 	compactions   int64
@@ -126,6 +129,9 @@ type Stats struct {
 	WALBytes            int64     `json:"walBytes"`            // bytes currently in the log
 	AppendedRecords     int64     `json:"appendedRecords"`     // records appended since open
 	AppendedBytes       int64     `json:"appendedBytes"`       // bytes appended since open
+	Fsyncs              int64     `json:"fsyncs"`              // WAL fsyncs since open (one per append)
+	BatchAppends        int64     `json:"batchAppends"`        // batch records appended since open
+	BatchPlans          int64     `json:"batchPlans"`          // plans persisted through batch records since open
 	RecoveredRecords    int64     `json:"recoveredRecords"`    // WAL records replayed at open
 	RecoveryTruncations int64     `json:"recoveryTruncations"` // torn tails truncated at open
 	Compactions         int64     `json:"compactions"`         // compactions since open
@@ -222,6 +228,20 @@ func (s *Store) applyRecord(rec *record) error {
 	case opAddPlan:
 		_, err := s.eng.LoadText(rec.Text)
 		return err
+	case opAddPlanBatch:
+		texts := make([]string, len(rec.Batch))
+		for i := range rec.Batch {
+			texts[i] = rec.Batch[i].Text
+		}
+		_, errs := s.eng.LoadTextBatch(texts)
+		for i, err := range errs {
+			// The record journals only accepted plans, so replay must
+			// accept every one of them again.
+			if err != nil {
+				return fmt.Errorf("batch plan %q: %w", rec.Batch[i].ID, err)
+			}
+		}
+		return nil
 	case opRemovePlan:
 		if !s.eng.RemovePlan(rec.ID) {
 			return fmt.Errorf("plan %q not loaded", rec.ID)
@@ -286,6 +306,7 @@ func (s *Store) appendLocked(rec *record) error {
 	s.walBytes += int64(len(buf))
 	s.appended++
 	s.appendedBytes += int64(len(buf))
+	s.fsyncs++
 	return nil
 }
 
@@ -322,6 +343,54 @@ func (s *Store) AddPlan(text string) (*qep.Plan, error) {
 	s.seq++
 	s.maybeAutoCompact()
 	return p, nil
+}
+
+// BatchOutcome is the per-record result of AddPlanBatch. Plan is non-nil
+// whenever the text parsed (even if loading then failed as a duplicate);
+// Err is nil exactly when the plan was loaded and persisted.
+type BatchOutcome struct {
+	Plan *qep.Plan
+	Err  error
+}
+
+// AddPlanBatch ingests a batch of explain texts as one durable mutation:
+// each text is validated individually (parse failures, validation errors
+// and duplicate IDs — against the engine or earlier records in the same
+// batch — fail only their own record), the accepted plans are registered in
+// the engine under a single data-generation bump, and the whole batch is
+// journaled as one WAL record with a single fsync. The returned error is
+// nil unless the store is closed or persistence itself failed; per-record
+// outcomes carry all validation results. On a persistence failure every
+// accepted plan is rolled back — the batch is all-or-nothing on disk.
+func (s *Store) AddPlanBatch(texts []string) ([]BatchOutcome, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil, ErrClosed
+	}
+	plans, errs := s.eng.LoadTextBatch(texts)
+	out := make([]BatchOutcome, len(texts))
+	var items []batchItem
+	for i := range texts {
+		out[i] = BatchOutcome{Plan: plans[i], Err: errs[i]}
+		if errs[i] == nil {
+			items = append(items, batchItem{ID: plans[i].ID, Text: texts[i]})
+		}
+	}
+	if len(items) == 0 {
+		return out, nil // nothing accepted: nothing to journal
+	}
+	if err := s.appendLocked(&record{Seq: s.seq + 1, Op: opAddPlanBatch, Batch: items}); err != nil {
+		for _, it := range items {
+			s.eng.RemovePlan(it.ID) // keep memory and log in agreement
+		}
+		return nil, err
+	}
+	s.seq++
+	s.batchAppends++
+	s.batchPlans += int64(len(items))
+	s.maybeAutoCompact()
+	return out, nil
 }
 
 // RemovePlan unloads a plan durably. It reports whether the plan existed.
@@ -450,6 +519,9 @@ func (s *Store) Stats() Stats {
 		WALBytes:            s.walBytes,
 		AppendedRecords:     s.appended,
 		AppendedBytes:       s.appendedBytes,
+		Fsyncs:              s.fsyncs,
+		BatchAppends:        s.batchAppends,
+		BatchPlans:          s.batchPlans,
 		RecoveredRecords:    s.recovered,
 		RecoveryTruncations: s.truncations,
 		Compactions:         s.compactions,

@@ -29,10 +29,11 @@ const (
 
 // Operation tags for WAL records and the op log.
 const (
-	opAddPlan     = "addPlan"
-	opRemovePlan  = "removePlan"
-	opAddEntry    = "addEntry"
-	opRemoveEntry = "removeEntry"
+	opAddPlan      = "addPlan"
+	opRemovePlan   = "removePlan"
+	opAddEntry     = "addEntry"
+	opRemoveEntry  = "removeEntry"
+	opAddPlanBatch = "addPlanBatch"
 )
 
 // record is one durable mutation. Seq is a monotonically increasing log
@@ -41,11 +42,20 @@ const (
 // sequence, which also makes the compaction swap crash-safe in both
 // orders).
 type record struct {
-	Seq  uint64          `json:"seq"`
-	Op   string          `json:"op"`
-	ID   string          `json:"id,omitempty"`    // plan ID or KB entry name
-	Text string          `json:"text,omitempty"`  // raw explain text (addPlan)
-	Item json.RawMessage `json:"entry,omitempty"` // kb.Entry JSON (addEntry)
+	Seq   uint64          `json:"seq"`
+	Op    string          `json:"op"`
+	ID    string          `json:"id,omitempty"`    // plan ID or KB entry name
+	Text  string          `json:"text,omitempty"`  // raw explain text (addPlan)
+	Item  json.RawMessage `json:"entry,omitempty"` // kb.Entry JSON (addEntry)
+	Batch []batchItem     `json:"batch,omitempty"` // accepted plans (addPlanBatch)
+}
+
+// batchItem is one accepted plan inside an addPlanBatch record. The whole
+// batch shares one frame, one sequence number and one fsync, so a torn tail
+// drops the batch atomically — recovery never sees part of it.
+type batchItem struct {
+	ID   string `json:"id"`
+	Text string `json:"text"`
 }
 
 // encodeRecord frames the record for appending.
