@@ -41,6 +41,16 @@
 // identical requests collapse onto one execution, responses carry an
 // X-Cache header, and Cache-Control: no-cache bypasses per request.
 //
+// Storage faults do not kill the daemon: when a WAL append or compaction
+// hits a disk error the store enters degraded read-only mode — writes
+// answer 503 + Retry-After while reads, scans and cached responses keep
+// serving — and GET /readyz reports ok|degraded|closed for probes. Every
+// fault and degraded/recovered transition is logged; POST
+// /api/admin/reopen re-verifies the journal tail and resumes writes once
+// the disk is fixed. With -fail-on-degraded the daemon exits with code 3
+// when it shuts down while still degraded, so supervisors distinguish a
+// clean stop from one that left the store read-only.
+//
 // On SIGINT/SIGTERM the daemon drains in-flight requests — cancelling
 // still-running engine scans halfway through the drain window — and
 // flushes the store before exiting.
@@ -72,9 +82,17 @@ import (
 // shutdownTimeout bounds how long draining in-flight requests may take.
 const shutdownTimeout = 10 * time.Second
 
+// errDegradedExit reports a shutdown that left the store degraded while
+// -fail-on-degraded was set. main turns it into exit code 3 so process
+// supervisors can page on "stopped read-only" separately from crashes.
+var errDegradedExit = errors.New("store was degraded at shutdown")
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "optimatchd:", err)
+		if errors.Is(err, errDegradedExit) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -92,6 +110,7 @@ func run() error {
 		batchMaxB    = flag.Int64("batch-max-bytes", 8<<20, "max request-body bytes for one POST /api/plans:batch")
 		data         = flag.String("data", "", "durable store directory (empty: in-memory only, state lost on exit)")
 		compactEvery = flag.Int64("compact-every", 1024, "auto-compact the store once its WAL holds this many records (0: manual only)")
+		failDegraded = flag.Bool("fail-on-degraded", false, "exit with code 3 when shutting down while the store is degraded (read-only)")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "deadline for one engine execution (search/sparql/kb-run); clients may shorten it per request with X-Timeout-Ms (0: no deadline)")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "byte budget for the generation-keyed result cache (0: caching disabled)")
 		cacheTTL     = flag.Duration("cache-ttl", 0, "optional max age for cached results; generation keying already guarantees freshness, a TTL only bounds memory held by idle entries (0: no TTL)")
@@ -168,11 +187,26 @@ func run() error {
 		// The store owns the engine and knowledge base: recovery replays
 		// the snapshot + WAL tail into them before we serve a byte. The
 		// -kb/-extended flags only seed a store that has no snapshot yet.
+		instr := server.StoreInstrumentation(reg)
+		// Fault and recovery transitions are operator events, not just
+		// metrics: log them at ERROR/INFO so a degraded daemon is visible in
+		// the stream even without a Prometheus scrape.
+		instr.Degrade = func(op string, cause error) {
+			log.Error("store degraded: writes rejected until reopen",
+				"op", op, "error", cause)
+		}
+		instr.Reopen = func(ok bool) {
+			if ok {
+				log.Info("store reopened: accepting writes again")
+			} else {
+				log.Error("store reopen failed: still degraded")
+			}
+		}
 		st, err = store.Open(*data,
 			store.WithEngineOptions(engOpts...),
 			store.WithDefaultKB(base),
 			store.WithAutoCompact(*compactEvery),
-			store.WithInstrumentation(server.StoreInstrumentation(reg)),
+			store.WithInstrumentation(instr),
 		)
 		if err != nil {
 			return err
@@ -258,10 +292,14 @@ func run() error {
 		return err
 	}
 	if st != nil {
+		degraded := st.Health().State == store.HealthDegraded
 		if err := st.Close(); err != nil {
 			return err
 		}
 		log.Info("store flushed and closed")
+		if degraded && *failDegraded {
+			return errDegradedExit
+		}
 	}
 	return nil
 }

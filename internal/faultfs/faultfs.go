@@ -1,0 +1,300 @@
+// Package faultfs is a deterministic fault injector behind the storefs
+// seam: it wraps any storefs.FS and fails scheduled filesystem operations
+// — the Nth write, a write torn short mid-buffer, a failed fsync, ENOSPC,
+// a failed rename during snapshot publication, read errors during
+// recovery — while counting every operation it forwards. Schedules are
+// explicit (FailNth arms one fault at a future operation count), so a
+// test that derives its arm calls from a seeded RNG replays bit-identically
+// from the seed alone: the store's operation sequence is deterministic for
+// a deterministic workload, and the injector adds no randomness of its own.
+//
+// The injector is intentionally a *scripting* primitive, not a policy: the
+// chaos harness in internal/store owns the seed, picks (operation, N, kind)
+// triples from it, and asserts the store's invariants; faultfs only makes
+// the disk misbehave on cue.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+	"syscall"
+
+	"optimatch/internal/storefs"
+)
+
+// ErrInjected marks every fault this package raises. Injected ENOSPC
+// faults additionally satisfy errors.Is(err, syscall.ENOSPC).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op classifies filesystem operations for scheduling. Open covers both
+// Open and OpenFile (recovery scans, directory handles for fsync, the
+// append-mode WAL handle); Create covers CreateTemp (snapshot temp files).
+type Op string
+
+const (
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpRead     Op = "read"
+	OpOpen     Op = "open"
+	OpCreate   Op = "create"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpTruncate Op = "truncate"
+)
+
+// Ops lists every schedulable operation class, in a fixed order tests can
+// index with a seeded RNG.
+var Ops = []Op{OpWrite, OpSync, OpRead, OpOpen, OpCreate, OpRename, OpRemove, OpTruncate}
+
+// Kind selects how an armed operation fails.
+type Kind int
+
+const (
+	// KindErr fails the operation outright with ErrInjected.
+	KindErr Kind = iota
+	// KindENOSPC fails with an error that also unwraps to syscall.ENOSPC —
+	// the full-disk case every durable layer eventually meets.
+	KindENOSPC
+	// KindShortWrite applies to writes only: half the buffer reaches the
+	// underlying file before the error, leaving a torn record on disk.
+	// For any other operation it behaves like KindErr.
+	KindShortWrite
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindENOSPC:
+		return "enospc"
+	case KindShortWrite:
+		return "short-write"
+	default:
+		return "err"
+	}
+}
+
+// Kinds lists every fault kind, in a fixed order tests can index with a
+// seeded RNG.
+var Kinds = []Kind{KindErr, KindENOSPC, KindShortWrite}
+
+// arm is one scheduled fault: fire when the operation's lifetime count
+// reaches at.
+type arm struct {
+	at   int64
+	kind Kind
+}
+
+// FS wraps a base filesystem with the fault schedule. All methods are safe
+// for concurrent use; the operation counters are global across files, so a
+// schedule is a property of the whole store directory, not one handle.
+type FS struct {
+	base storefs.FS
+
+	mu       sync.Mutex
+	seen     map[Op]int64 // operations forwarded (or failed) so far
+	armed    map[Op][]arm // pending faults, sparse
+	injected map[Op]int64 // faults fired so far
+}
+
+// Wrap returns a fault-injecting view of base with an empty schedule.
+func Wrap(base storefs.FS) *FS {
+	return &FS{
+		base:     base,
+		seen:     make(map[Op]int64),
+		armed:    make(map[Op][]arm),
+		injected: make(map[Op]int64),
+	}
+}
+
+// FailNth arms one fault: the nth occurrence of op counted from this call
+// (n=1 fails the very next one) fails with the given kind. Multiple arms
+// may be pending per operation; each fires once.
+func (f *FS) FailNth(op Op, n int64, kind Kind) {
+	if n < 1 {
+		n = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed[op] = append(f.armed[op], arm{at: f.seen[op] + n, kind: kind})
+}
+
+// Clear drops every pending fault — the disk is healed. Counters survive.
+func (f *FS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = make(map[Op][]arm)
+}
+
+// Seen reports how many operations of class op have been attempted.
+func (f *FS) Seen(op Op) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen[op]
+}
+
+// Injected reports how many faults have fired, in total and per class.
+func (f *FS) Injected() (total int64, byOp map[Op]int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	byOp = make(map[Op]int64, len(f.injected))
+	for op, n := range f.injected {
+		byOp[op] = n
+		total += n
+	}
+	return total, byOp
+}
+
+// Armed reports how many faults are still pending.
+func (f *FS) Armed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, arms := range f.armed {
+		n += len(arms)
+	}
+	return n
+}
+
+// check advances op's counter and reports whether this occurrence should
+// fail, consuming the matching arm.
+func (f *FS) check(op Op) (Kind, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seen[op]++
+	arms := f.armed[op]
+	for i, a := range arms {
+		if a.at == f.seen[op] {
+			f.armed[op] = append(arms[:i:i], arms[i+1:]...)
+			f.injected[op]++
+			return a.kind, true
+		}
+	}
+	return 0, false
+}
+
+// injectErr builds the error for one fired fault.
+func injectErr(op Op, kind Kind) error {
+	if kind == KindENOSPC {
+		return fmt.Errorf("%w: %s: %w", ErrInjected, op, syscall.ENOSPC)
+	}
+	return fmt.Errorf("%w: %s (%s)", ErrInjected, op, kind)
+}
+
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	// Directory creation happens once at Open and is not a fault target.
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *FS) Open(name string) (storefs.File, error) {
+	if kind, hit := f.check(OpOpen); hit {
+		return nil, injectErr(OpOpen, kind)
+	}
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, base: file}, nil
+}
+
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (storefs.File, error) {
+	if kind, hit := f.check(OpOpen); hit {
+		return nil, injectErr(OpOpen, kind)
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, base: file}, nil
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (storefs.File, error) {
+	if kind, hit := f.check(OpCreate); hit {
+		return nil, injectErr(OpCreate, kind)
+	}
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, base: file}, nil
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if kind, hit := f.check(OpRead); hit {
+		return nil, injectErr(OpRead, kind)
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if kind, hit := f.check(OpRead); hit {
+		return nil, injectErr(OpRead, kind)
+	}
+	return f.base.ReadDir(name)
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if kind, hit := f.check(OpRename); hit {
+		return injectErr(OpRename, kind)
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if kind, hit := f.check(OpRemove); hit {
+		return injectErr(OpRemove, kind)
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FS) Truncate(name string, size int64) error {
+	if kind, hit := f.check(OpTruncate); hit {
+		return injectErr(OpTruncate, kind)
+	}
+	return f.base.Truncate(name, size)
+}
+
+// faultFile forwards per-handle operations through the shared schedule.
+type faultFile struct {
+	fs   *FS
+	base storefs.File
+}
+
+func (f *faultFile) Name() string { return f.base.Name() }
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if kind, hit := f.fs.check(OpRead); hit {
+		return 0, injectErr(OpRead, kind)
+	}
+	return f.base.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	kind, hit := f.fs.check(OpWrite)
+	if !hit {
+		return f.base.Write(p)
+	}
+	if kind == KindShortWrite && len(p) > 0 {
+		// Tear the buffer: half of it reaches the disk, then the error.
+		n, err := f.base.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, injectErr(OpWrite, kind)
+	}
+	return 0, injectErr(OpWrite, kind)
+}
+
+func (f *faultFile) Sync() error {
+	if kind, hit := f.fs.check(OpSync); hit {
+		return injectErr(OpSync, kind)
+	}
+	return f.base.Sync()
+}
+
+func (f *faultFile) Close() error {
+	// Close is not a fault target: the store treats close errors on
+	// already-synced files as benign, and failing them would only retest
+	// error plumbing the write/sync faults already cover.
+	return f.base.Close()
+}

@@ -1,0 +1,197 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"optimatch/internal/storefs"
+)
+
+// openRW creates (or opens) a file for read/write through the injector.
+func openRW(t *testing.T, ffs *FS, path string) storefs.File {
+	t.Helper()
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFailNthCountsFromArmTime(t *testing.T) {
+	dir := t.TempDir()
+	ffs := Wrap(storefs.OS{})
+	f := openRW(t, ffs, filepath.Join(dir, "a"))
+	defer f.Close()
+
+	// Two clean writes move the counter; arming n=1 afterwards must fail
+	// the very next write, not the first-ever write.
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatalf("clean write %d: %v", i, err)
+		}
+	}
+	ffs.FailNth(OpWrite, 1, KindErr)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write err = %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("arm did not clear after firing: %v", err)
+	}
+	if got := ffs.Seen(OpWrite); got != 4 {
+		t.Fatalf("Seen(write) = %d, want 4", got)
+	}
+	total, byOp := ffs.Injected()
+	if total != 1 || byOp[OpWrite] != 1 {
+		t.Fatalf("Injected() = %d, %v", total, byOp)
+	}
+}
+
+func TestShortWriteTearsBuffer(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	ffs := Wrap(storefs.OS{})
+	f := openRW(t, ffs, path)
+	defer f.Close()
+
+	ffs.FailNth(OpWrite, 1, KindShortWrite)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("on-disk bytes = %q, want the torn half %q", data, "01234")
+	}
+}
+
+func TestENOSPCSatisfiesBothSentinels(t *testing.T) {
+	ffs := Wrap(storefs.OS{})
+	ffs.FailNth(OpSync, 1, KindENOSPC)
+	f := openRW(t, ffs, filepath.Join(t.TempDir(), "a"))
+	defer f.Close()
+
+	err := f.Sync()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want to unwrap to ENOSPC", err)
+	}
+}
+
+func TestClearHealsPendingFaults(t *testing.T) {
+	ffs := Wrap(storefs.OS{})
+	ffs.FailNth(OpRename, 1, KindErr)
+	ffs.FailNth(OpRemove, 2, KindErr)
+	if got := ffs.Armed(); got != 2 {
+		t.Fatalf("Armed() = %d, want 2", got)
+	}
+	ffs.Clear()
+	if got := ffs.Armed(); got != 0 {
+		t.Fatalf("Armed() after Clear = %d, want 0", got)
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename(src, filepath.Join(dir, "dst")); err != nil {
+		t.Fatalf("Rename after Clear: %v", err)
+	}
+}
+
+// TestEveryOpClassInjectable arms each schedulable class once and drives a
+// matching operation, so no class silently stops being intercepted.
+func TestEveryOpClassInjectable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	if err := os.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	drive := map[Op]func(ffs *FS) error{
+		OpWrite: func(ffs *FS) error {
+			f := openRW(t, ffs, path)
+			defer f.Close()
+			_, err := f.Write([]byte("x"))
+			return err
+		},
+		OpSync: func(ffs *FS) error {
+			f := openRW(t, ffs, path)
+			defer f.Close()
+			return f.Sync()
+		},
+		OpRead: func(ffs *FS) error {
+			_, err := ffs.ReadFile(path)
+			return err
+		},
+		OpOpen: func(ffs *FS) error {
+			_, err := ffs.Open(path)
+			return err
+		},
+		OpCreate: func(ffs *FS) error {
+			_, err := ffs.CreateTemp(dir, "tmp-*")
+			return err
+		},
+		OpRename: func(ffs *FS) error { return ffs.Rename(path, path) },
+		OpRemove: func(ffs *FS) error { return ffs.Remove(path) },
+		OpTruncate: func(ffs *FS) error {
+			return ffs.Truncate(path, 0)
+		},
+	}
+	for _, op := range Ops {
+		fn, ok := drive[op]
+		if !ok {
+			t.Fatalf("no driver for op %q — extend the test with the new class", op)
+		}
+		ffs := Wrap(storefs.OS{})
+		ffs.FailNth(op, 1, KindErr)
+		if err := fn(ffs); !errors.Is(err, ErrInjected) {
+			t.Errorf("%s: err = %v, want ErrInjected", op, err)
+		}
+	}
+}
+
+// TestDeterministicReplay runs the same operation script against the same
+// schedule twice and demands identical outcomes — the property the chaos
+// harness's seed-reproducibility rests on.
+func TestDeterministicReplay(t *testing.T) {
+	script := func(dir string) []string {
+		ffs := Wrap(storefs.OS{})
+		ffs.FailNth(OpWrite, 3, KindShortWrite)
+		ffs.FailNth(OpSync, 2, KindENOSPC)
+		f := openRW(t, ffs, filepath.Join(dir, "a"))
+		defer f.Close()
+		var trace []string
+		for i := 0; i < 5; i++ {
+			if _, err := f.Write([]byte("abcdef")); err != nil {
+				trace = append(trace, "write:"+err.Error())
+			} else {
+				trace = append(trace, "write:ok")
+			}
+			if err := f.Sync(); err != nil {
+				trace = append(trace, "sync:"+err.Error())
+			} else {
+				trace = append(trace, "sync:ok")
+			}
+		}
+		return trace
+	}
+	a, b := script(t.TempDir()), script(t.TempDir())
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

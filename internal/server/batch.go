@@ -150,8 +150,9 @@ func (s *Server) handleBatchUpload(w http.ResponseWriter, r *http.Request) {
 			out, err := s.st.AddPlanBatch(texts)
 			if err != nil {
 				// The durability layer failed: nothing was persisted and the
-				// engine was rolled back, so the whole batch is a 5xx.
-				writeError(w, http.StatusInternalServerError, err)
+				// engine was rolled back, so the whole batch is a 5xx — or a
+				// 503 + Retry-After when the store is degraded.
+				s.writeStoreError(w, err, http.StatusInternalServerError)
 				return
 			}
 			for j, o := range out {

@@ -1,0 +1,89 @@
+// Degraded-mode handling: when the durable store observes a disk failure
+// it stops accepting writes (store.ErrDegraded) while reads stay correct.
+// The server keeps the distinction visible: the write path answers 503
+// with Retry-After (the client did nothing wrong, retry after the operator
+// or a reopen fixes the disk), GET /readyz reports the state machine for
+// load balancers and probes, and POST /api/admin/reopen drives the
+// recovery transition.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"optimatch/internal/store"
+)
+
+// degradedRetryAfter is the Retry-After value on writes rejected while the
+// store is degraded. Recovery needs an operator (or an automated reopen)
+// to fix the disk, so the hint is a polling interval, not an estimate.
+const degradedRetryAfter = "10"
+
+// writeStoreError maps a failed durable mutation to its status: a degraded
+// store is an explicit 503 + Retry-After (the server is up, the disk is
+// not), and that includes the persistence failure that just *caused* the
+// degradation — the client's write did not commit and retrying after a
+// reopen is the correct move either way. Persistence failures that left
+// the store writable and a closed store are 500s; anything else is the
+// caller's fallback (typically a 4xx validation status).
+func (s *Server) writeStoreError(w http.ResponseWriter, err error, fallback int) {
+	status := fallback
+	switch {
+	case errors.Is(err, store.ErrDegraded),
+		errors.Is(err, store.ErrPersist) && s.st != nil && s.st.Health().State == store.HealthDegraded:
+		w.Header().Set("Retry-After", degradedRetryAfter)
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, store.ErrPersist) || errors.Is(err, store.ErrClosed):
+		status = http.StatusInternalServerError
+	}
+	writeError(w, status, err)
+}
+
+// readyzBody is the GET /readyz response.
+type readyzBody struct {
+	Status string `json:"status"` // ok | degraded | closed
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReadyz reports write-path readiness, distinct from /healthz
+// liveness: a degraded daemon is alive (reads and cached responses still
+// serve) but not ready for traffic that mutates state. Degraded and closed
+// states answer 503 so load balancers drain writes without killing the
+// process.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		writeJSON(w, http.StatusOK, readyzBody{Status: store.HealthOK})
+		return
+	}
+	h := s.st.Health()
+	status := http.StatusOK
+	if h.State != store.HealthOK {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", degradedRetryAfter)
+	}
+	writeJSON(w, status, readyzBody{Status: h.State, Reason: h.Reason})
+}
+
+// reopenBody is the POST /api/admin/reopen response.
+type reopenBody struct {
+	Health store.Health `json:"health"`
+	Stats  store.Stats  `json:"stats"`
+}
+
+// handleReopen re-verifies the store's on-disk tail and, when it checks
+// out (or was repaired), returns the daemon to accepting writes. A healthy
+// store reopens as a no-op, so the endpoint is safe to retry.
+func (s *Server) handleReopen(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("no durable store configured (start optimatchd with -data)"))
+		return
+	}
+	if err := s.st.Reopen(); err != nil {
+		// Still degraded: the disk failed again during re-verification.
+		w.Header().Set("Retry-After", degradedRetryAfter)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reopenBody{Health: s.st.Health(), Stats: s.st.Stats()})
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"optimatch/internal/cache"
+	"optimatch/internal/core"
+	"optimatch/internal/faultfs"
+	"optimatch/internal/fixtures"
+	"optimatch/internal/obs"
+	"optimatch/internal/qep"
+	"optimatch/internal/store"
+	"optimatch/internal/storefs"
+)
+
+// degradedTestServer builds the full daemon wiring — durable store behind a
+// fault injector, shared result cache, metrics registry — so the HTTP
+// contract under storage faults is tested end to end.
+func degradedTestServer(t *testing.T) (*faultfs.FS, *store.Store, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	ffs := faultfs.Wrap(storefs.OS{})
+	c := cache.New(cache.Config{MaxBytes: 16 << 20})
+	reg := obs.NewRegistry()
+	st, err := store.Open(t.TempDir(),
+		store.WithFS(ffs),
+		store.WithEngineOptions(core.WithResultCache(c)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := New(st.Engine(), st.KB(),
+		WithStore(st), WithResultCache(c), WithMetrics(reg))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ffs, st, ts, reg
+}
+
+// readyState decodes a /readyz body's status field.
+func readyState(t *testing.T, body string) string {
+	t.Helper()
+	var rb readyzBody
+	if err := json.Unmarshal([]byte(body), &rb); err != nil {
+		t.Fatalf("/readyz body %q: %v", body, err)
+	}
+	return rb.Status
+}
+
+func TestDegradedModeHTTPContract(t *testing.T) {
+	ffs, st, ts, _ := degradedTestServer(t)
+	plans := fixtures.All()
+
+	// Healthy baseline: writes land, /readyz reports ok, the cacheable read
+	// paths go miss -> hit.
+	resp, _ := cacheReq(t, "POST", ts.URL+"/api/plans", qep.Text(plans[0]), nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+	resp, body := cacheReq(t, "GET", ts.URL+"/readyz", "", nil)
+	if resp.StatusCode != http.StatusOK || readyState(t, body) != "ok" {
+		t.Fatalf("/readyz = %d %s", resp.StatusCode, body)
+	}
+	rdfURL := ts.URL + "/api/plans/" + plans[0].ID + "/rdf"
+	resp, rdfWant := cacheReq(t, "GET", rdfURL, "", nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first rdf = %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp, runWant := cacheReq(t, "POST", ts.URL+"/api/kb/run", "", nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first kb/run = %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	// Break the disk under the next WAL append.
+	ffs.FailNth(faultfs.OpWrite, 1, faultfs.KindENOSPC)
+	resp, body = cacheReq(t, "POST", ts.URL+"/api/plans", qep.Text(plans[1]), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degrading upload status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Fatal("degrading upload missing Retry-After")
+	}
+
+	// Every write now refuses with 503 + Retry-After without killing the
+	// process: plans, batches, deletes, KB entries, compaction.
+	for _, w := range []struct{ method, path, body string }{
+		{"POST", "/api/plans", qep.Text(plans[2])},
+		{"POST", "/api/plans:batch", `"` + plans[2].ID + `"`},
+		{"DELETE", "/api/plans/" + plans[0].ID, ""},
+		{"DELETE", "/api/kb/entries/none", ""},
+		{"POST", "/api/admin/compact", ""},
+	} {
+		resp, body := cacheReq(t, w.method, ts.URL+w.path, w.body, nil)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s while degraded = %d, body %s", w.method, w.path, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s %s while degraded missing Retry-After", w.method, w.path)
+		}
+	}
+
+	// Readiness flips to 503/degraded while liveness-style reads keep
+	// working, including cache hits with the bytes from before the fault.
+	resp, body = cacheReq(t, "GET", ts.URL+"/readyz", "", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || readyState(t, body) != "degraded" {
+		t.Fatalf("/readyz while degraded = %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("/readyz while degraded missing Retry-After")
+	}
+	// The failed mutation's load+rollback bumped the data generation, so the
+	// first read after the fault is a legitimate miss that re-executes and
+	// reproduces the exact pre-fault bytes; the repeat must hit.
+	resp, got := cacheReq(t, "GET", rdfURL, "", nil)
+	if resp.StatusCode != http.StatusOK || got != rdfWant {
+		t.Fatalf("rdf while degraded = %d, bytes match %v", resp.StatusCode, got == rdfWant)
+	}
+	resp, got = cacheReq(t, "GET", rdfURL, "", nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" || got != rdfWant {
+		t.Fatalf("repeat rdf while degraded = %d, X-Cache %q, bytes match %v",
+			resp.StatusCode, resp.Header.Get("X-Cache"), got == rdfWant)
+	}
+	resp, got = cacheReq(t, "POST", ts.URL+"/api/kb/run", "", nil)
+	if resp.StatusCode != http.StatusOK || got != runWant {
+		t.Fatalf("kb/run while degraded = %d, bytes match %v", resp.StatusCode, got == runWant)
+	}
+	resp, got = cacheReq(t, "POST", ts.URL+"/api/kb/run", "", nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" || got != runWant {
+		t.Fatalf("repeat kb/run while degraded = %d, X-Cache %q, bytes match %v",
+			resp.StatusCode, resp.Header.Get("X-Cache"), got == runWant)
+	}
+	resp, _ = cacheReq(t, "GET", ts.URL+"/api/plans", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan listing while degraded = %d", resp.StatusCode)
+	}
+
+	// The degraded state is visible to scrapes and /api/stats.
+	resp, metrics := cacheReq(t, "GET", ts.URL+"/metrics", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if v := metricValue(t, metrics, "optimatch_store_degraded"); v != 1 {
+		t.Errorf("optimatch_store_degraded = %v, want 1", v)
+	}
+	if v := metricValue(t, metrics, `optimatch_store_fault_total{op="append"}`); v != 1 {
+		t.Errorf(`optimatch_store_fault_total{op="append"} = %v, want 1`, v)
+	}
+	var stats statsBody
+	getJSON(t, ts.URL+"/api/stats", http.StatusOK, &stats)
+	if stats.Store == nil || !stats.Store.Degraded || stats.Store.FaultWrites != 1 {
+		t.Fatalf("store stats while degraded = %+v", stats.Store)
+	}
+
+	// Reopen on a still-broken disk answers 503 and stays degraded.
+	ffs.FailNth(faultfs.OpRead, 1, faultfs.KindErr)
+	resp, body = cacheReq(t, "POST", ts.URL+"/api/admin/reopen", "", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("reopen on broken disk = %d %s", resp.StatusCode, body)
+	}
+
+	// Heal the disk: reopen succeeds, readiness recovers, writes land again.
+	ffs.Clear()
+	resp, body = cacheReq(t, "POST", ts.URL+"/api/admin/reopen", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reopen after heal = %d %s", resp.StatusCode, body)
+	}
+	var reopened reopenBody
+	if err := json.Unmarshal([]byte(body), &reopened); err != nil {
+		t.Fatalf("reopen body: %v", err)
+	}
+	if reopened.Health.State != store.HealthOK || reopened.Stats.Reopens != 1 || reopened.Stats.ReopenFailures != 1 {
+		t.Fatalf("reopen body = %+v", reopened)
+	}
+	resp, body = cacheReq(t, "GET", ts.URL+"/readyz", "", nil)
+	if resp.StatusCode != http.StatusOK || readyState(t, body) != "ok" {
+		t.Fatalf("/readyz after reopen = %d %s", resp.StatusCode, body)
+	}
+	resp, _ = cacheReq(t, "POST", ts.URL+"/api/plans", qep.Text(plans[1]), nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload after reopen = %d", resp.StatusCode)
+	}
+	if st.Engine().Plan(plans[1].ID) == nil {
+		t.Fatal("post-reopen upload not applied")
+	}
+	_, metrics = cacheReq(t, "GET", ts.URL+"/metrics", "", nil)
+	if v := metricValue(t, metrics, "optimatch_store_degraded"); v != 0 {
+		t.Errorf("optimatch_store_degraded after reopen = %v, want 0", v)
+	}
+	if v := metricValue(t, metrics, `optimatch_store_reopen_total{result="ok"}`); v != 1 {
+		t.Errorf("reopen ok counter = %v, want 1", v)
+	}
+	if v := metricValue(t, metrics, `optimatch_store_reopen_total{result="error"}`); v != 1 {
+		t.Errorf("reopen error counter = %v, want 1", v)
+	}
+}
+
+// TestReadyzWithoutStore pins the stateless deployment: no durable store
+// means no degraded state machine, so readiness is simply ok and reopen is
+// explicit about being unavailable.
+func TestReadyzWithoutStore(t *testing.T) {
+	eng := core.New()
+	if err := eng.LoadPlans(fixtures.All()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng, nil).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := cacheReq(t, "GET", ts.URL+"/readyz", "", nil)
+	if resp.StatusCode != http.StatusOK || readyState(t, body) != "ok" {
+		t.Fatalf("/readyz = %d %s", resp.StatusCode, body)
+	}
+	resp, _ = cacheReq(t, "POST", ts.URL+"/api/admin/reopen", "", nil)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("reopen without store = %d", resp.StatusCode)
+	}
+}

@@ -230,4 +230,26 @@ func (s *Server) registerStateMetrics() {
 		stat(func(st store.Stats) float64 { return float64(st.BatchAppends) }))
 	reg.CounterFunc("optimatch_store_batch_plans_total", "Plans persisted through batch records since open.",
 		stat(func(st store.Stats) float64 { return float64(st.BatchPlans) }))
+
+	reg.GaugeFunc("optimatch_store_degraded", "1 while the store is in degraded read-only mode (writes rejected, reads serving).",
+		stat(func(st store.Stats) float64 {
+			if st.Degraded {
+				return 1
+			}
+			return 0
+		}))
+	const faultName = "optimatch_store_fault_total"
+	const faultHelp = "Durability faults observed by the store, by failing operation."
+	reg.CounterFunc(faultName, faultHelp,
+		stat(func(st store.Stats) float64 { return float64(st.FaultWrites) }), "op", "append")
+	reg.CounterFunc(faultName, faultHelp,
+		stat(func(st store.Stats) float64 { return float64(st.FaultSyncs) }), "op", "fsync")
+	reg.CounterFunc(faultName, faultHelp,
+		stat(func(st store.Stats) float64 { return float64(st.FaultCompactions) }), "op", "compact")
+	const reopenName = "optimatch_store_reopen_total"
+	const reopenHelp = "Degraded-mode reopen attempts, by result."
+	reg.CounterFunc(reopenName, reopenHelp,
+		stat(func(st store.Stats) float64 { return float64(st.Reopens) }), "result", "ok")
+	reg.CounterFunc(reopenName, reopenHelp,
+		stat(func(st store.Stats) float64 { return float64(st.ReopenFailures) }), "result", "error")
 }

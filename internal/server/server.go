@@ -4,6 +4,7 @@
 // client-server communication). The API is JSON-first:
 //
 //	GET    /healthz                  liveness
+//	GET    /readyz                   readiness: ok | degraded | closed (store write path)
 //	GET    /api/plans                loaded plans (id, operators, total cost)
 //	POST   /api/plans                upload an explain file (text/plain body)
 //	POST   /api/plans:batch          batch upload (NDJSON, per-record outcomes)
@@ -18,10 +19,14 @@
 //	POST   /api/kb/run               scan all plans, ranked recommendations
 //	GET    /api/stats                engine + store counters
 //	POST   /api/admin/compact        fold the durable store's WAL into a snapshot
+//	POST   /api/admin/reopen         re-verify the disk and leave degraded mode
 //
 // When constructed with WithStore, plan uploads/deletions and
 // knowledge-base mutations write through the durable store, so the served
-// state survives a restart.
+// state survives a restart. If the store degrades (a WAL append or
+// compaction failed), writes answer 503 with Retry-After while reads and
+// cache hits keep serving; GET /readyz reports the state and POST
+// /api/admin/reopen recovers once the disk is healthy again.
 package server
 
 import (
@@ -179,6 +184,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /api/plans", s.handleListPlans)
 	mux.HandleFunc("POST /api/plans", s.handleUploadPlan)
 	// Batch ingest runs under the admission gate at the weight of a full
@@ -197,6 +203,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/kb/run", s.gated(2, s.handleRunKB))
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("POST /api/admin/compact", s.handleCompact)
+	mux.HandleFunc("POST /api/admin/reopen", s.handleReopen)
 	if s.metrics != nil {
 		mux.Handle("GET /metrics", s.metrics.Handler())
 		s.registerStateMetrics()
@@ -281,14 +288,11 @@ func (s *Server) handleUploadPlan(w http.ResponseWriter, r *http.Request) {
 		// A duplicate ID is a conflict with served state, not a malformed
 		// plan: 409 lets idempotent re-uploads (the optimatchd -load path)
 		// distinguish "already there" from "rejected".
-		status := http.StatusUnprocessableEntity
-		switch {
-		case errors.Is(err, core.ErrDuplicatePlan):
-			status = http.StatusConflict
-		case errors.Is(err, store.ErrPersist) || errors.Is(err, store.ErrClosed):
-			status = http.StatusInternalServerError
+		if errors.Is(err, core.ErrDuplicatePlan) {
+			writeError(w, http.StatusConflict, err)
+			return
 		}
-		writeError(w, status, err)
+		s.writeStoreError(w, err, http.StatusUnprocessableEntity)
 		return
 	}
 	writeJSON(w, http.StatusCreated, planInfo{ID: p.ID, Operators: p.NumOps(), TotalCost: p.TotalCost})
@@ -306,7 +310,7 @@ func (s *Server) handleDeletePlan(w http.ResponseWriter, r *http.Request) {
 		ok = s.eng.RemovePlan(id)
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeStoreError(w, err, http.StatusInternalServerError)
 		return
 	}
 	if !ok {
@@ -501,11 +505,7 @@ func (s *Server) handleAddEntry(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, store.ErrPersist) || errors.Is(err, store.ErrClosed) {
-			status = http.StatusInternalServerError
-		}
-		writeError(w, status, err)
+		s.writeStoreError(w, err, http.StatusUnprocessableEntity)
 		return
 	}
 	writeJSON(w, http.StatusCreated, entryInfo{Name: entry.Name, Description: entry.Description, Recommendations: len(entry.Recommendations)})
@@ -525,7 +525,7 @@ func (s *Server) handleDeleteEntry(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeStoreError(w, err, http.StatusInternalServerError)
 		return
 	}
 	if !ok {
@@ -639,7 +639,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	if err := s.st.Compact(); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeStoreError(w, err, http.StatusInternalServerError)
 		return
 	}
 	st := s.st.Stats()

@@ -17,11 +17,12 @@ import (
 // sequence number i+1; compaction is not a mutation and consumes no
 // sequence number.
 type mutation struct {
-	op   string
-	id   string                  // plan ID or entry name
-	text string                  // addPlan
-	pat  func() *pattern.Pattern // addEntry
-	recs []kb.Recommendation
+	op    string
+	id    string                  // plan ID or entry name
+	text  string                  // addPlan
+	pat   func() *pattern.Pattern // addEntry
+	recs  []kb.Recommendation
+	batch []string // addPlanBatch: accepted texts, one WAL record
 }
 
 // applyReference replays mutations with sequence number <= upto into a

@@ -3,12 +3,14 @@ package store
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 
 	"optimatch/internal/kb"
 	"optimatch/internal/qep"
+	"optimatch/internal/storefs"
 )
 
 const (
@@ -63,18 +65,18 @@ func buildSnapshot(gen, lastSeq uint64, plans []*qep.Plan, base *kb.KnowledgeBas
 // the same directory, fsync it, rename over the live name, fsync the
 // directory. A crash at any point leaves either the old snapshot or the
 // new one, never a partial file.
-func writeSnapshot(dir string, snap *snapshot) error {
+func writeSnapshot(fsys storefs.FS, dir string, snap *snapshot) error {
 	data, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("store: encoding snapshot: %w", err)
 	}
-	return atomicWrite(dir, snapshotName, data)
+	return atomicWrite(fsys, dir, snapshotName, data)
 }
 
 // readSnapshot loads the current snapshot, or returns nil if none exists.
-func readSnapshot(dir string) (*snapshot, error) {
-	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
-	if os.IsNotExist(err) {
+func readSnapshot(fsys storefs.FS, dir string) (*snapshot, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, snapshotName))
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -91,13 +93,13 @@ func readSnapshot(dir string) (*snapshot, error) {
 }
 
 // atomicWrite replaces dir/name with data via temp file + rename.
-func atomicWrite(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+func atomicWrite(fsys storefs.FS, dir, name string, data []byte) error {
+	tmp, err := fsys.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer fsys.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: writing %s: %w", name, err)
@@ -109,15 +111,15 @@ func atomicWrite(dir, name string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: closing %s: %w", name, err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+	if err := fsys.Rename(tmpName, filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("store: publishing %s: %w", name, err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // syncDir fsyncs a directory so a just-renamed entry is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys storefs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}

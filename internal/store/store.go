@@ -10,6 +10,15 @@
 // so recovery loads the snapshot and replays only the WAL tail. Opening a
 // store truncates a torn tail at the first bad checksum instead of failing
 // the boot.
+//
+// The store degrades rather than corrupts: every filesystem touch goes
+// through the storefs seam (swap in internal/faultfs to test), and when the
+// durability machinery itself fails — a WAL write or fsync, a snapshot
+// publication — the store scrubs the unacknowledged tail, rolls the failed
+// mutation out of memory, and enters an explicit degraded read-only mode:
+// reads and scans keep serving the acknowledged state, every further
+// mutation returns ErrDegraded, and Reopen re-verifies (and if needed
+// repairs) the on-disk tail before writes are accepted again.
 package store
 
 import (
@@ -26,6 +35,7 @@ import (
 	"optimatch/internal/kb"
 	"optimatch/internal/pattern"
 	"optimatch/internal/qep"
+	"optimatch/internal/storefs"
 )
 
 // ErrPersist marks failures of the durability machinery itself (WAL append,
@@ -36,6 +46,14 @@ var ErrPersist = errors.New("store: persistence failure")
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// ErrDegraded is returned by mutations while the store is in degraded
+// read-only mode: a durability failure (failed WAL append or fsync, failed
+// snapshot publication) was observed, so accepting further writes could
+// silently diverge disk from memory. Reads and scans keep working on the
+// acknowledged in-memory state; Reopen clears the mode once the disk
+// verifies again. Callers can map it to 503 + Retry-After.
+var ErrDegraded = errors.New("store: degraded (read-only)")
+
 // Option configures Open.
 type Option func(*config)
 
@@ -44,6 +62,7 @@ type config struct {
 	defaultKB   *kb.KnowledgeBase
 	autoCompact int64
 	instr       Instrumentation
+	fs          storefs.FS
 }
 
 // Instrumentation receives durability-path timings from the store. Any
@@ -62,6 +81,22 @@ type Instrumentation struct {
 	// Recovery observes the one recovery pass Open performs: wall time,
 	// WAL records replayed, torn tails truncated.
 	Recovery func(d time.Duration, records, truncations int64)
+
+	// Degrade observes the transition into degraded read-only mode: which
+	// durability operation failed (append, fsync, compact) and why. It
+	// fires once per degradation, not per rejected write.
+	Degrade func(op string, cause error)
+
+	// Reopen observes one Reopen attempt and whether the store returned to
+	// accepting writes.
+	Reopen func(ok bool)
+}
+
+// WithFS substitutes the filesystem the store runs on (default: the real
+// one, storefs.OS). Tests wrap it with internal/faultfs to script disk
+// failures.
+func WithFS(fsys storefs.FS) Option {
+	return func(c *config) { c.fs = fsys }
 }
 
 // WithInstrumentation installs durability-path hooks.
@@ -95,29 +130,40 @@ func WithAutoCompact(n int64) Option {
 // concurrently with mutations.
 type Store struct {
 	dir string
+	fs  storefs.FS
 
-	mu   sync.Mutex
-	wal  *os.File // nil after Close
-	eng  *core.Engine
-	base *kb.KnowledgeBase
+	mu     sync.Mutex
+	wal    storefs.File // nil after Close
+	closed bool
+	eng    *core.Engine
+	base   *kb.KnowledgeBase
 
 	seq         uint64 // last applied log sequence number
 	generation  uint64 // compaction generation
 	autoCompact int64
 	instr       Instrumentation
 
-	walRecords    int64
-	walBytes      int64
-	appended      int64
-	appendedBytes int64
-	fsyncs        int64
-	batchAppends  int64
-	batchPlans    int64
-	recovered     int64
-	truncations   int64
-	compactions   int64
-	lastCompact   time.Time
-	compactErr    string
+	degraded       bool
+	degradedReason string
+	degradedSince  time.Time
+
+	walRecords     int64
+	walBytes       int64
+	appended       int64
+	appendedBytes  int64
+	fsyncs         int64
+	batchAppends   int64
+	batchPlans     int64
+	recovered      int64
+	truncations    int64
+	compactions    int64
+	lastCompact    time.Time
+	compactErr     string
+	faultWrites    int64
+	faultSyncs     int64
+	faultCompacts  int64
+	reopens        int64
+	reopenFailures int64
 }
 
 // Stats is a point-in-time snapshot of the store's counters.
@@ -137,6 +183,13 @@ type Stats struct {
 	Compactions         int64     `json:"compactions"`         // compactions since open
 	LastCompaction      time.Time `json:"lastCompaction"`      // zero if none since open
 	LastCompactionError string    `json:"lastCompactionError,omitempty"`
+	Degraded            bool      `json:"degraded"`                 // true while in degraded read-only mode
+	DegradedReason      string    `json:"degradedReason,omitempty"` // what failed, when degraded
+	FaultWrites         int64     `json:"faultWrites"`              // failed WAL record writes since open
+	FaultSyncs          int64     `json:"faultSyncs"`               // failed WAL fsyncs since open
+	FaultCompactions    int64     `json:"faultCompactions"`         // failed snapshot compactions since open
+	Reopens             int64     `json:"reopens"`                  // successful degraded-mode recoveries since open
+	ReopenFailures      int64     `json:"reopenFailures"`           // failed Reopen attempts since open
 }
 
 // Open recovers the repository at dir (created if missing): it loads the
@@ -148,13 +201,16 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if cfg.fs == nil {
+		cfg.fs = storefs.OS{}
+	}
+	if err := cfg.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, eng: core.New(cfg.engineOpts...), autoCompact: cfg.autoCompact, instr: cfg.instr}
+	s := &Store{dir: dir, fs: cfg.fs, eng: core.New(cfg.engineOpts...), autoCompact: cfg.autoCompact, instr: cfg.instr}
 	recoverStart := time.Now()
 
-	snap, err := readSnapshot(dir)
+	snap, err := readSnapshot(s.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -176,12 +232,13 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	s.base = base
 
 	walPath := filepath.Join(dir, walName)
-	recs, goodOffset, torn, err := scanWAL(walPath)
+	recs, ends, torn, err := scanWAL(s.fs, walPath)
 	if err != nil {
 		return nil, err
 	}
+	goodOffset := goodLength(ends)
 	if torn {
-		if err := os.Truncate(walPath, goodOffset); err != nil {
+		if err := s.fs.Truncate(walPath, goodOffset); err != nil {
 			return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
 		}
 		s.truncations++
@@ -199,7 +256,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	s.walRecords = int64(len(recs))
 	s.walBytes = goodOffset
 
-	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	f, err := s.fs.OpenFile(walPath, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening WAL for append: %w", err)
 	}
@@ -282,10 +339,47 @@ func addEntryJSON(base *kb.KnowledgeBase, data []byte) error {
 	return nil
 }
 
-// appendLocked journals one record and fsyncs. Callers hold s.mu.
-func (s *Store) appendLocked(rec *record) error {
-	if s.wal == nil {
+// writableLocked reports whether the store currently accepts mutations.
+// Callers hold s.mu.
+func (s *Store) writableLocked() error {
+	if s.closed {
 		return ErrClosed
+	}
+	if s.degraded {
+		return fmt.Errorf("%w: %s", ErrDegraded, s.degradedReason)
+	}
+	return nil
+}
+
+// degradeLocked transitions the store into degraded read-only mode. The
+// first durability failure wins; later ones only add to the fault counters
+// at their call sites. Callers hold s.mu.
+func (s *Store) degradeLocked(op string, cause error) {
+	if s.degraded {
+		return
+	}
+	s.degraded = true
+	s.degradedReason = fmt.Sprintf("%s: %v", op, cause)
+	s.degradedSince = time.Now()
+	if s.instr.Degrade != nil {
+		s.instr.Degrade(op, cause)
+	}
+}
+
+// scrubTailLocked cuts the WAL back to the last acknowledged byte after a
+// failed append, so a torn or complete-but-unacknowledged record cannot
+// resurrect a mutation the caller saw fail if we crash while degraded.
+// Best-effort: on a disk this broken the truncate may fail too, and Reopen
+// re-verifies the tail before writes resume either way.
+func (s *Store) scrubTailLocked() {
+	_ = s.fs.Truncate(filepath.Join(s.dir, walName), s.walBytes)
+}
+
+// appendLocked journals one record and fsyncs. Callers hold s.mu. A write
+// or fsync failure scrubs the unacknowledged tail and degrades the store.
+func (s *Store) appendLocked(rec *record) error {
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	buf, err := encodeRecord(rec)
 	if err != nil {
@@ -293,11 +387,17 @@ func (s *Store) appendLocked(rec *record) error {
 	}
 	writeStart := time.Now()
 	if _, err := s.wal.Write(buf); err != nil {
-		return fmt.Errorf("%w: appending record: %v", ErrPersist, err)
+		s.faultWrites++
+		s.scrubTailLocked()
+		s.degradeLocked("append", err)
+		return fmt.Errorf("%w: appending record: %w", ErrPersist, err)
 	}
 	syncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("%w: syncing WAL: %v", ErrPersist, err)
+		s.faultSyncs++
+		s.scrubTailLocked()
+		s.degradeLocked("fsync", err)
+		return fmt.Errorf("%w: syncing WAL: %w", ErrPersist, err)
 	}
 	if s.instr.WALAppend != nil {
 		s.instr.WALAppend(syncStart.Sub(writeStart), time.Since(syncStart), len(buf))
@@ -329,8 +429,8 @@ func (s *Store) maybeAutoCompact() {
 func (s *Store) AddPlan(text string) (*qep.Plan, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
-		return nil, ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return nil, err
 	}
 	p, err := s.eng.LoadText(text)
 	if err != nil {
@@ -365,8 +465,8 @@ type BatchOutcome struct {
 func (s *Store) AddPlanBatch(texts []string) ([]BatchOutcome, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
-		return nil, ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return nil, err
 	}
 	plans, errs := s.eng.LoadTextBatch(texts)
 	out := make([]BatchOutcome, len(texts))
@@ -397,8 +497,8 @@ func (s *Store) AddPlanBatch(texts []string) ([]BatchOutcome, error) {
 func (s *Store) RemovePlan(id string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
-		return false, ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return false, err
 	}
 	p := s.eng.Plan(id)
 	if p == nil {
@@ -419,8 +519,8 @@ func (s *Store) RemovePlan(id string) (bool, error) {
 func (s *Store) AddEntry(p *pattern.Pattern, recs ...kb.Recommendation) (*kb.Entry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
-		return nil, ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return nil, err
 	}
 	entry, err := s.base.Add(p, recs...)
 	if err != nil {
@@ -445,8 +545,8 @@ func (s *Store) AddEntry(p *pattern.Pattern, recs ...kb.Recommendation) (*kb.Ent
 func (s *Store) RemoveEntry(name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
-		return false, ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return false, err
 	}
 	entry := s.base.Entry(name)
 	if entry == nil {
@@ -469,8 +569,8 @@ func (s *Store) RemoveEntry(name string) (bool, error) {
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
-		return ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	return s.compactLocked()
 }
@@ -483,18 +583,26 @@ func (s *Store) compactLocked() (err error) {
 	if err != nil {
 		return err
 	}
-	if err := writeSnapshot(s.dir, snap); err != nil {
-		return fmt.Errorf("%w: %v", ErrPersist, err)
+	if err := writeSnapshot(s.fs, s.dir, snap); err != nil {
+		s.faultCompacts++
+		s.degradeLocked("compact", err)
+		return fmt.Errorf("%w: %w", ErrPersist, err)
 	}
 	// Swap in an empty log only after the snapshot is durable. If we crash
 	// between the renames the old log survives alongside the new snapshot,
 	// and replay skips its records by sequence number.
-	if err := atomicWrite(s.dir, walName, nil); err != nil {
-		return fmt.Errorf("%w: resetting WAL: %v", ErrPersist, err)
+	if err := atomicWrite(s.fs, s.dir, walName, nil); err != nil {
+		s.faultCompacts++
+		s.degradeLocked("compact", err)
+		return fmt.Errorf("%w: resetting WAL: %w", ErrPersist, err)
 	}
-	f, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fs.OpenFile(filepath.Join(s.dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("%w: reopening WAL: %v", ErrPersist, err)
+		// The reset log is already live on disk but we hold no handle to
+		// it: appends have nowhere consistent to go, so degrade.
+		s.faultCompacts++
+		s.degradeLocked("compact", err)
+		return fmt.Errorf("%w: reopening WAL: %w", ErrPersist, err)
 	}
 	old := s.wal
 	s.wal = f
@@ -527,14 +635,155 @@ func (s *Store) Stats() Stats {
 		Compactions:         s.compactions,
 		LastCompaction:      s.lastCompact,
 		LastCompactionError: s.compactErr,
+		Degraded:            s.degraded,
+		DegradedReason:      s.degradedReason,
+		FaultWrites:         s.faultWrites,
+		FaultSyncs:          s.faultSyncs,
+		FaultCompactions:    s.faultCompacts,
+		Reopens:             s.reopens,
+		ReopenFailures:      s.reopenFailures,
 	}
 }
 
+// Health states, as reported by Health and the server's /readyz.
+const (
+	HealthOK       = "ok"       // accepting reads and writes
+	HealthDegraded = "degraded" // read-only after a durability failure
+	HealthClosed   = "closed"   // Close was called; reads still work
+)
+
+// Health describes whether the store accepts writes right now.
+type Health struct {
+	State  string    `json:"state"` // ok | degraded | closed
+	Reason string    `json:"reason,omitempty"`
+	Since  time.Time `json:"since,omitempty"` // when the degradation began
+}
+
+// Health reports the store's current write-path state. Reads (Engine, KB,
+// Stats) work in every state.
+func (s *Store) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return Health{State: HealthClosed}
+	case s.degraded:
+		return Health{State: HealthDegraded, Reason: s.degradedReason, Since: s.degradedSince}
+	default:
+		return Health{State: HealthOK}
+	}
+}
+
+// Reopen attempts to leave degraded mode: it re-scans the on-disk WAL,
+// drops any torn or unacknowledged tail, and verifies that snapshot + log
+// still reconstruct exactly the acknowledged sequence. If the disk lost
+// acknowledged records (a scrub failed, or bytes never became durable), it
+// repairs by folding the in-memory state — which is the acknowledged truth,
+// every mutation in it was fsync-acknowledged — into a fresh snapshot.
+// On success the store accepts writes again; on failure it stays degraded
+// and Reopen can be retried. Reopening a healthy store is a no-op.
+func (s *Store) Reopen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.degraded {
+		return nil
+	}
+	err := s.reopenLocked()
+	if s.instr.Reopen != nil {
+		s.instr.Reopen(err == nil)
+	}
+	if err != nil {
+		s.reopenFailures++
+		return err
+	}
+	s.reopens++
+	s.degraded = false
+	s.degradedReason = ""
+	s.degradedSince = time.Time{}
+	return nil
+}
+
+// reopenLocked re-verifies (and if necessary repairs) the on-disk state
+// against the acknowledged in-memory sequence. Callers hold s.mu.
+func (s *Store) reopenLocked() error {
+	walPath := filepath.Join(s.dir, walName)
+	recs, ends, torn, err := scanWAL(s.fs, walPath)
+	if err != nil {
+		return fmt.Errorf("%w: re-verifying WAL: %w", ErrPersist, err)
+	}
+	// Keep only records at or below the acknowledged sequence. A record
+	// above it is a mutation whose append failed after the bytes landed
+	// (e.g. the fsync failed): the caller saw an error and the engine
+	// rolled it back, so it must not survive to a future recovery.
+	keep := len(recs)
+	for keep > 0 && recs[keep-1].Seq > s.seq {
+		keep--
+	}
+	keepOffset := goodLength(ends[:keep])
+	if torn || keep < len(recs) {
+		if err := s.fs.Truncate(walPath, keepOffset); err != nil {
+			return fmt.Errorf("%w: truncating unacknowledged tail: %w", ErrPersist, err)
+		}
+	}
+
+	// Verify snapshot + kept log reconstruct the acknowledged sequence.
+	snap, err := readSnapshot(s.fs, s.dir)
+	if err != nil {
+		return fmt.Errorf("%w: re-verifying snapshot: %w", ErrPersist, err)
+	}
+	var snapSeq, snapGen uint64
+	if snap != nil {
+		snapSeq, snapGen = snap.LastSeq, snap.Generation
+	}
+	diskSeq := snapSeq
+	for _, rec := range recs[:keep] {
+		if rec.Seq == diskSeq+1 {
+			diskSeq = rec.Seq
+		} else if rec.Seq > diskSeq {
+			break // gap: records between diskSeq and rec.Seq are lost
+		}
+	}
+	if diskSeq < s.seq {
+		// The disk cannot reconstruct everything we acknowledged. Repair by
+		// snapshotting the in-memory state; compactLocked publishes it
+		// atomically and resets the log, or fails and we stay degraded.
+		return s.compactLocked()
+	}
+
+	// Disk verified: resume appending where the acknowledged log ends.
+	f, err := s.fs.OpenFile(walPath, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: reopening WAL for append: %w", ErrPersist, err)
+	}
+	old := s.wal
+	s.wal = f
+	if old != nil {
+		old.Close()
+	}
+	if snapGen > s.generation {
+		// A half-finished compaction published its snapshot before failing;
+		// adopt its generation so the next compaction moves forward.
+		s.generation = snapGen
+	}
+	s.walRecords = int64(keep)
+	s.walBytes = keepOffset
+	return nil
+}
+
 // Close flushes and closes the log. Further mutations return ErrClosed; the
-// engine and knowledge base stay readable.
+// engine and knowledge base stay readable. Close is idempotent and safe to
+// call concurrently with in-flight mutations, which finish first (they hold
+// the store mutex) and are fully durable before Close returns.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	if s.wal == nil {
 		return nil
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -25,21 +26,27 @@ func planTexts() map[string]string {
 }
 
 // reportString renders a full KB run deterministically, so tests can
-// compare recovered state to a reference byte for byte.
+// compare recovered state to a reference byte for byte. Per-plan blocks are
+// sorted by plan ID: engine iteration order depends on insertion history
+// (a rolled-back removal re-inserts at the end), and state equality must
+// not depend on it.
 func reportString(t *testing.T, eng *core.Engine, base *kb.KnowledgeBase) string {
 	t.Helper()
 	reports, err := eng.RunKB(base)
 	if err != nil {
 		t.Fatalf("RunKB: %v", err)
 	}
-	var b strings.Builder
+	blocks := make([]string, 0, len(reports))
 	for i := range reports {
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s: %s\n", reports[i].Plan.ID, reports[i].Message())
 		for _, r := range reports[i].Recommendations {
 			fmt.Fprintf(&b, "  [%s] %s %.6f %s\n", r.Entry.Name, r.Recommendation.Title, r.Confidence, r.Text)
 		}
+		blocks = append(blocks, b.String())
 	}
-	return b.String()
+	sort.Strings(blocks)
+	return strings.Join(blocks, "")
 }
 
 func testEntryPattern() *pattern.Pattern { return pattern.F() }

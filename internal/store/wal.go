@@ -3,10 +3,13 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+	"io/fs"
+
+	"optimatch/internal/storefs"
 )
 
 // WAL record framing: every record is
@@ -75,47 +78,67 @@ func encodeRecord(rec *record) ([]byte, error) {
 }
 
 // scanWAL reads every intact record from the log at path. It returns the
-// decoded records, the byte offset just past the last good frame, and
-// whether a torn or corrupt tail was found after that offset. A missing
-// file scans as empty.
-func scanWAL(path string) (recs []record, goodOffset int64, torn bool, err error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, 0, false, nil
-	}
+// decoded records, the byte offset just past each good frame (so callers
+// can truncate back to any record boundary; the last entry is the good
+// length of the log), and whether a torn or corrupt tail was found after
+// that offset. A missing file scans as empty.
+func scanWAL(fsys storefs.FS, path string) (recs []record, ends []int64, torn bool, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
-		return nil, 0, false, fmt.Errorf("store: opening WAL: %w", err)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, false, nil
+		}
+		return nil, nil, false, fmt.Errorf("store: opening WAL: %w", err)
 	}
 	defer f.Close()
 
+	var offset int64
 	var header [headerSize]byte
 	for {
-		n, err := io.ReadFull(f, header[:])
+		_, err := io.ReadFull(f, header[:])
 		if err == io.EOF {
-			return recs, goodOffset, false, nil // clean end of log
+			return recs, ends, false, nil // clean end of log
 		}
-		if err != nil || n < headerSize { // torn header
-			return recs, goodOffset, true, nil
+		if err == io.ErrUnexpectedEOF {
+			return recs, ends, true, nil // torn header
+		}
+		if err != nil {
+			// A real read failure (bad sector, injected fault) is not a torn
+			// tail: truncating here would destroy data that may be intact, so
+			// recovery fails loudly instead.
+			return nil, nil, false, fmt.Errorf("store: reading WAL: %w", err)
 		}
 		length := binary.LittleEndian.Uint32(header[0:4])
 		sum := binary.LittleEndian.Uint32(header[4:8])
 		if length < 2 || length > maxRecordBytes {
-			return recs, goodOffset, true, nil // implausible length: corrupt
+			return recs, ends, true, nil // implausible length: corrupt
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return recs, goodOffset, true, nil // torn payload
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return recs, ends, true, nil // torn payload
+			}
+			return nil, nil, false, fmt.Errorf("store: reading WAL: %w", err)
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return recs, goodOffset, true, nil // bit rot or torn rewrite
+			return recs, ends, true, nil // bit rot or torn rewrite
 		}
 		var rec record
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			// The frame verified but the payload is not a record we can
 			// read: stop here rather than guess (version skew).
-			return recs, goodOffset, true, nil
+			return recs, ends, true, nil
 		}
 		recs = append(recs, rec)
-		goodOffset += headerSize + int64(length)
+		offset += headerSize + int64(length)
+		ends = append(ends, offset)
 	}
+}
+
+// goodLength is the byte length of the intact prefix scanWAL found.
+func goodLength(ends []int64) int64 {
+	if len(ends) == 0 {
+		return 0
+	}
+	return ends[len(ends)-1]
 }

@@ -1,0 +1,76 @@
+// Package storefs is the filesystem seam under the durable store: the
+// handful of operations internal/store performs against a directory —
+// opening and appending to the WAL, atomic snapshot publication (temp
+// file + rename + directory sync), torn-tail truncation, recovery reads —
+// expressed as a small interface pair so tests can substitute a
+// fault-injecting implementation (internal/faultfs) without touching the
+// store's logic. The default implementation, OS, delegates straight to
+// package os; it adds one virtual dispatch per filesystem call, which is
+// noise next to the syscall it wraps.
+package storefs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the directory-level surface the store needs. Implementations must
+// preserve package-os error semantics: a missing file surfaces an error
+// satisfying errors.Is(err, fs.ErrNotExist) from Open and ReadFile, and
+// Rename atomically replaces an existing destination.
+type FS interface {
+	// MkdirAll creates the store directory (and parents) like os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Open opens a file — or a directory, for directory fsyncs — read-only.
+	Open(name string) (File, error)
+	// OpenFile generalizes Open with flags, used for the append-mode WAL.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// CreateTemp creates an exclusive temp file like os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile slurps a whole file like os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory like os.ReadDir.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath like os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file like os.Remove.
+	Remove(name string) error
+	// Truncate cuts (or zero-extends) a file like os.Truncate.
+	Truncate(name string, size int64) error
+}
+
+// File is the per-handle surface: sequential reads for recovery scans,
+// appends and Sync for the WAL and snapshot temp files.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened with, like os.File.Name.
+	Name() string
+	// Sync flushes the file (or directory) to stable storage.
+	Sync() error
+}
+
+// OS is the production FS, delegating every call to package os.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
